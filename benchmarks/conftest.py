@@ -1,0 +1,68 @@
+"""Shared fixtures and scaling for the per-figure benchmarks.
+
+Each benchmark regenerates one figure of the paper's evaluation and
+prints the corresponding rows/series.  By default the workload counts are
+scaled down so the whole suite completes in minutes; set
+``REPRO_BENCH_FULL=1`` to run at the paper's scale (100 flow sets per
+point, 100 schedule repetitions).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Benchmark scale knobs: (flow sets per point, simulator repetitions)."""
+    if _full_scale():
+        return {"flow_sets": 100, "repetitions": 100, "epochs": 6}
+    return {"flow_sets": 8, "repetitions": 50, "epochs": 3}
+
+
+@pytest.fixture(scope="session")
+def indriya():
+    from repro.testbeds import make_indriya
+
+    return make_indriya()
+
+
+@pytest.fixture(scope="session")
+def wustl():
+    from repro.testbeds import make_wustl
+
+    return make_wustl()
+
+
+def print_series(title, series):
+    """Print one figure's series: {label: {x: value}}."""
+    print(f"\n=== {title} ===")
+    xs = sorted({x for values in series.values() for x in values})
+    header = "x".ljust(8) + "".join(str(x).rjust(10) for x in xs)
+    print(header)
+    for label, values in series.items():
+        row = label.ljust(8)
+        for x in xs:
+            value = values.get(x)
+            row += ("-".rjust(10) if value is None
+                    else f"{value:10.3f}")
+        print(row)
+
+
+def print_histogram(title, histograms):
+    """Print distribution rows: {label: {bucket: fraction}}."""
+    print(f"\n=== {title} ===")
+    buckets = sorted({b for h in histograms.values() for b in h})
+    header = "policy".ljust(8) + "".join(str(b).rjust(9) for b in buckets)
+    print(header)
+    for label, histogram in histograms.items():
+        row = label.ljust(8)
+        for bucket in buckets:
+            row += f"{histogram.get(bucket, 0.0):9.3f}"
+        print(row)

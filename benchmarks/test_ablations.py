@@ -1,0 +1,186 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these probe the knobs the paper fixes:
+
+* **ρ_t sensitivity** — the paper notes a larger floor is safer but less
+  capable; we sweep ρ_t ∈ {2, 3, 4} and measure schedulability and PDR.
+* **ρ reset scope** — Algorithm 1's pseudocode resets ρ per *flow*, its
+  prose per *transmission* (our default); we compare both readings.
+* **Offset rule** — RC's least-loaded channel choice vs. naive
+  first-feasible.
+* **Retransmission slots** — source routing's dedicated retransmission
+  slot doubles the slot demand; how much schedulability does it cost and
+  how much PDR does it buy?
+"""
+
+import pytest
+
+from repro.core.rc import (
+    ConservativeReusePolicy,
+    RHO_RESET_FLOW,
+    RHO_RESET_TRANSMISSION,
+)
+from repro.core.scheduler import FixedPriorityScheduler, OFFSET_FIRST
+from repro.experiments.common import prepare_network
+from repro.experiments.reliability import (
+    build_reliability_flow_set,
+    run_reliability,
+)
+from repro.analysis.metrics import tx_per_cell_distribution
+from repro.simulator.engine import SimulationConfig, TschSimulator
+
+import numpy as np
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_rho_t_sensitivity(benchmark, wustl, scale):
+    """Larger ρ_t floors: safer reuse, less capacity."""
+    topology, environment = wustl
+    network = prepare_network(topology, channels=(11, 12, 13, 14))
+
+    def run():
+        rows = {}
+        for rho_t in (2, 3, 4):
+            schedulable = 0
+            worst_pdrs = []
+            reused = 0
+            for set_index in range(3):
+                rng = np.random.default_rng(set_index)
+                flow_set = build_reliability_flow_set(network, rng)
+                policy = ConservativeReusePolicy(rho_t=rho_t)
+                result = FixedPriorityScheduler(
+                    topology.num_nodes, 4, network.reuse, policy
+                ).run(flow_set)
+                if not result.schedulable:
+                    continue
+                schedulable += 1
+                reused += result.schedule.num_reused_cells()
+                simulator = TschSimulator(
+                    result.schedule, flow_set, environment,
+                    network.topology.channel_map,
+                    config=SimulationConfig(seed=set_index))
+                stats = simulator.run(scale["repetitions"] // 2)
+                worst_pdrs.append(stats.worst_pdr())
+            rows[rho_t] = (schedulable, reused,
+                           min(worst_pdrs) if worst_pdrs else None)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: RC rho_t floor ===")
+    print("rho_t  schedulable/3  reused-cells  worst PDR")
+    for rho_t, (count, reused, worst) in sorted(rows.items()):
+        worst_text = "-" if worst is None else f"{worst:.3f}"
+        print(f"{rho_t:>5}  {count:>13}  {reused:>12}  {worst_text:>9}")
+    # Larger floors never reuse more.
+    assert rows[4][1] <= rows[2][1]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_rho_reset_scope(benchmark, wustl):
+    """Per-transmission reset (prose) vs per-flow reset (pseudocode)."""
+    topology, environment = wustl
+    network = prepare_network(topology, channels=(11, 12, 13, 14))
+
+    def run():
+        results = {}
+        for mode in (RHO_RESET_TRANSMISSION, RHO_RESET_FLOW):
+            reused = 0
+            schedulable = 0
+            for set_index in range(3):
+                rng = np.random.default_rng(set_index)
+                flow_set = build_reliability_flow_set(network, rng)
+                policy = ConservativeReusePolicy(rho_t=2, rho_reset=mode)
+                result = FixedPriorityScheduler(
+                    topology.num_nodes, 4, network.reuse, policy
+                ).run(flow_set)
+                if result.schedulable:
+                    schedulable += 1
+                    reused += result.schedule.num_reused_cells()
+            results[mode] = (schedulable, reused)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: rho reset scope ===")
+    for mode, (schedulable, reused) in results.items():
+        print(f"{mode:>13}: schedulable {schedulable}/3, "
+              f"reused cells {reused}")
+    # The per-transmission reading is at least as conservative.
+    assert (results[RHO_RESET_TRANSMISSION][1]
+            <= results[RHO_RESET_FLOW][1] + 5)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_offset_rule(benchmark, wustl):
+    """Least-loaded channel choice vs first-feasible: contention spread."""
+    topology, environment = wustl
+    network = prepare_network(topology, channels=(11, 12, 13, 14))
+
+    def run():
+        histograms = {}
+        for rule in ("least_loaded", "first"):
+            pooled = {}
+            for set_index in range(3):
+                rng = np.random.default_rng(set_index)
+                flow_set = build_reliability_flow_set(network, rng)
+                policy = ConservativeReusePolicy(rho_t=2, offset_rule=rule)
+                result = FixedPriorityScheduler(
+                    topology.num_nodes, 4, network.reuse, policy
+                ).run(flow_set)
+                if not result.schedulable:
+                    continue
+                for k, v in tx_per_cell_distribution(
+                        result.schedule).items():
+                    pooled[k] = pooled.get(k, 0) + v
+            histograms[rule] = pooled
+        return histograms
+
+    histograms = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: RC offset rule ===")
+    for rule, histogram in histograms.items():
+        print(f"{rule:>13}: {dict(sorted(histogram.items()))}")
+    # The least-loaded rule never packs a channel more densely than the
+    # first-feasible rule's worst cell.
+    assert max(histograms["least_loaded"]) <= max(histograms["first"])
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_retransmission_slots(benchmark, wustl, scale):
+    """Dedicated retransmission slots: capacity cost vs PDR benefit."""
+    topology, environment = wustl
+    network = prepare_network(topology, channels=(11, 12, 13, 14))
+
+    def run():
+        rows = {}
+        for attempts in (1, 2):
+            rng = np.random.default_rng(0)
+            flow_set = build_reliability_flow_set(network, rng)
+            policy = ConservativeReusePolicy(rho_t=2)
+            result = FixedPriorityScheduler(
+                topology.num_nodes, 4, network.reuse, policy,
+                attempts_per_link=attempts).run(flow_set)
+            if not result.schedulable:
+                rows[attempts] = None
+                continue
+            simulator = TschSimulator(
+                result.schedule, flow_set, environment,
+                network.topology.channel_map,
+                config=SimulationConfig(seed=0))
+            stats = simulator.run(scale["repetitions"])
+            rows[attempts] = (len(result.schedule), stats.median_pdr(),
+                              stats.worst_pdr())
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: retransmission slot reservation ===")
+    print("attempts  entries  median PDR  worst PDR")
+    for attempts, row in sorted(rows.items()):
+        if row is None:
+            print(f"{attempts:>8}  unschedulable")
+            continue
+        entries, median, worst = row
+        print(f"{attempts:>8}  {entries:>7}  {median:>10.3f}  {worst:>9.3f}")
+    if rows[1] and rows[2]:
+        # The retransmission slot buys end-to-end reliability.
+        assert rows[2][2] >= rows[1][2]
+        # ... at twice the slot demand.
+        assert rows[2][0] == 2 * rows[1][0]

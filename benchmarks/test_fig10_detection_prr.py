@@ -1,0 +1,64 @@
+"""Figure 10: PRRs of rejected vs accepted low-reliability links.
+
+The detection policy's signature result: *rejected* links (degradation
+attributed to channel reuse) perform well in contention-free slots but
+poorly under reuse; *accepted* links (degraded by external interference)
+perform poorly in both.
+"""
+
+import pytest
+
+from repro.detection.classifier import Verdict
+from repro.experiments.detection_exp import run_detection
+from repro.testbeds import WUSTL_PLAN
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_rejected_vs_accepted_prr(benchmark, wustl, scale):
+    topology, environment = wustl
+    outcomes = benchmark.pedantic(
+        run_detection,
+        args=(topology, environment, WUSTL_PLAN),
+        kwargs=dict(num_epochs=scale["epochs"], seed=0),
+        rounds=1, iterations=1)
+
+    print("\n=== Fig 10: PRR of rejected/accepted links ===")
+    gaps = []
+    for outcome in outcomes:
+        assert outcome.schedulable
+        rejected, accepted = [], []
+        for diagnoses in outcome.diagnoses.values():
+            for diagnosis in diagnoses:
+                if diagnosis.verdict is Verdict.REJECT:
+                    rejected.append(diagnosis)
+                elif diagnosis.verdict is Verdict.ACCEPT:
+                    accepted.append(diagnosis)
+        print(f"{outcome.policy}/{outcome.condition}: "
+              f"reuse links {len(outcome.reuse_links)}, "
+              f"low-PRR links {len(outcome.low_prr_links)}, "
+              f"rejected {len(set(d.link for d in rejected))}, "
+              f"accepted {len(set(d.link for d in accepted))}")
+        for diagnosis in rejected:
+            print(f"  reject {diagnosis.link}: reuse PRR "
+                  f"{diagnosis.reuse_prr:.2f}, contention-free "
+                  f"{diagnosis.contention_free_prr:.2f}")
+            if diagnosis.contention_free_prr is not None:
+                gaps.append(diagnosis.contention_free_prr
+                            - diagnosis.reuse_prr)
+        for diagnosis in accepted:
+            cf = diagnosis.contention_free_prr
+            print(f"  accept {diagnosis.link}: reuse PRR "
+                  f"{diagnosis.reuse_prr:.2f}, contention-free "
+                  f"{cf if cf is None else round(cf, 2)}")
+
+    # Rejected links must show the paper's signature: good without
+    # reuse, bad with it.
+    assert gaps, "expected at least one rejected link across conditions"
+    assert sum(gaps) / len(gaps) > 0.1
+
+    # RC involves far fewer links in reuse than RA (paper: 20 vs 95).
+    ra = next(o for o in outcomes
+              if o.policy == "RA" and o.condition == "clean")
+    rc = next(o for o in outcomes
+              if o.policy == "RC" and o.condition == "clean")
+    assert len(rc.reuse_links) < len(ra.reuse_links) / 2

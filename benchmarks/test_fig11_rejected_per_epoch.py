@@ -1,0 +1,48 @@
+"""Figure 11: rejected links per epoch under external interference.
+
+Expected shape: the detection policy flags a *consistent* set of links
+across epochs (the paper observes "almost the same set of rejected
+links" in every epoch), and RA produces at least as many reuse-degraded
+links as RC.
+"""
+
+import pytest
+
+from repro.experiments.detection_exp import run_detection
+from repro.testbeds import WUSTL_PLAN
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_rejected_links_per_epoch(benchmark, wustl, scale):
+    topology, environment = wustl
+    outcomes = benchmark.pedantic(
+        run_detection,
+        args=(topology, environment, WUSTL_PLAN),
+        kwargs=dict(num_epochs=scale["epochs"], seed=0,
+                    conditions=("wifi",)),
+        rounds=1, iterations=1)
+
+    print("\n=== Fig 11: rejected links per epoch (WiFi interference) ===")
+    for outcome in outcomes:
+        assert outcome.schedulable
+        counts = {epoch: len(links)
+                  for epoch, links in sorted(
+                      outcome.rejected_per_epoch.items())}
+        print(f"{outcome.policy}: per-epoch rejected counts {counts}")
+        for epoch, links in sorted(outcome.rejected_per_epoch.items()):
+            print(f"  epoch {epoch}: {links}")
+
+    ra = next(o for o in outcomes if o.policy == "RA")
+    rc = next(o for o in outcomes if o.policy == "RC")
+
+    # Epoch-to-epoch consistency: every pair of epochs with rejections
+    # shares links (the classifier keeps flagging the same victims).
+    for outcome in (ra, rc):
+        nonempty = [set(links) for links in
+                    outcome.rejected_per_epoch.values() if links]
+        if len(nonempty) >= 2:
+            union = set().union(*nonempty)
+            intersection = set(nonempty[0])
+            for links in nonempty[1:]:
+                intersection &= links
+            assert len(intersection) >= 1 or len(union) <= 3

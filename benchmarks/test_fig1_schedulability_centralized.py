@@ -1,0 +1,72 @@
+"""Figure 1: schedulable ratio, centralized traffic, Indriya.
+
+(a) ratio vs #channels, P = [2^0, 2^4];
+(b) ratio vs #channels, P = [2^-1, 2^3] (heavier);
+(c) ratio vs #flows at 5 channels.
+
+Expected shape: RA ≈ RC ≥ NR, with the largest gap at few channels (3-5)
+and high flow counts.
+"""
+
+import pytest
+
+from repro.flows.generator import PeriodRange
+from repro.experiments.schedulability import run_sweep
+from repro.routing.traffic import TrafficType
+
+from conftest import print_series
+
+CHANNELS = [3, 4, 5, 8, 12, 16]
+FLOWS = [10, 20, 30, 40]
+
+
+def _ratios(result):
+    return result.schedulable_ratios()
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1a_vs_channels_long_periods(benchmark, indriya, scale):
+    topology, _ = indriya
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.CENTRALIZED, "channels", CHANNELS),
+        kwargs=dict(fixed_flows=40, period_range=PeriodRange(0, 4),
+                    num_flow_sets=scale["flow_sets"], seed=10),
+        rounds=1, iterations=1)
+    ratios = _ratios(result)
+    print_series("Fig 1(a): centralized, P=[2^0,2^4], 40 flows", ratios)
+    for x in CHANNELS:
+        assert ratios["RA"][x] >= ratios["NR"][x]
+        assert ratios["RC"][x] >= ratios["NR"][x]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1b_vs_channels_short_periods(benchmark, indriya, scale):
+    topology, _ = indriya
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.CENTRALIZED, "channels", CHANNELS),
+        kwargs=dict(fixed_flows=30, period_range=PeriodRange(-1, 3),
+                    num_flow_sets=scale["flow_sets"], seed=11),
+        rounds=1, iterations=1)
+    ratios = _ratios(result)
+    print_series("Fig 1(b): centralized, P=[2^-1,2^3], 30 flows", ratios)
+    # Heavier workload: reuse beats NR clearly at few channels.
+    few = CHANNELS[0]
+    assert ratios["RC"][few] >= ratios["NR"][few]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1c_vs_flows(benchmark, indriya, scale):
+    topology, _ = indriya
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.CENTRALIZED, "flows", FLOWS),
+        kwargs=dict(fixed_channels=4, period_range=PeriodRange(-1, 3),
+                    num_flow_sets=scale["flow_sets"], seed=12),
+        rounds=1, iterations=1)
+    ratios = _ratios(result)
+    print_series("Fig 1(c): centralized, 4 channels, vs #flows", ratios)
+    heavy = FLOWS[-1]
+    assert ratios["RA"][heavy] >= ratios["NR"][heavy]
+    assert ratios["RC"][heavy] >= ratios["NR"][heavy]

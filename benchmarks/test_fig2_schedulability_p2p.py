@@ -1,0 +1,69 @@
+"""Figure 2: schedulable ratio, peer-to-peer traffic, Indriya.
+
+(a) ratio vs #channels, P = [2^0, 2^4];
+(b) ratio vs #channels, P = [2^-1, 2^3] with a heavy flow count (the
+    paper's NR cannot schedule anything here);
+(c) ratio vs #flows at 5 channels — the paper's NR collapses by 120
+    flows while RA and RC stay near 100%.
+"""
+
+import pytest
+
+from repro.flows.generator import PeriodRange
+from repro.experiments.schedulability import run_sweep
+from repro.routing.traffic import TrafficType
+
+from conftest import print_series
+
+CHANNELS = [3, 4, 5, 8, 12, 16]
+FLOWS = [40, 80, 120, 160]
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_vs_channels_long_periods(benchmark, indriya, scale):
+    topology, _ = indriya
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.PEER_TO_PEER, "channels", CHANNELS),
+        kwargs=dict(fixed_flows=40, period_range=PeriodRange(0, 4),
+                    num_flow_sets=scale["flow_sets"], seed=20),
+        rounds=1, iterations=1)
+    ratios = result.schedulable_ratios()
+    print_series("Fig 2(a): p2p, P=[2^0,2^4], 40 flows", ratios)
+    for x in CHANNELS:
+        assert ratios["RA"][x] >= ratios["NR"][x]
+        assert ratios["RC"][x] >= ratios["NR"][x]
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2b_vs_channels_heavy(benchmark, indriya, scale):
+    topology, _ = indriya
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.PEER_TO_PEER, "channels", CHANNELS),
+        kwargs=dict(fixed_flows=60, period_range=PeriodRange(-1, 3),
+                    num_flow_sets=scale["flow_sets"], seed=21),
+        rounds=1, iterations=1)
+    ratios = result.schedulable_ratios()
+    print_series("Fig 2(b): p2p, P=[2^-1,2^3], 60 flows", ratios)
+    # NR struggles at few channels while reuse stays usable.
+    few = CHANNELS[0]
+    assert ratios["RC"][few] > ratios["NR"][few]
+    assert ratios["RA"][few] > ratios["NR"][few]
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2c_vs_flows(benchmark, indriya, scale):
+    topology, _ = indriya
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.PEER_TO_PEER, "flows", FLOWS),
+        kwargs=dict(fixed_channels=5, period_range=PeriodRange(0, 4),
+                    num_flow_sets=scale["flow_sets"], seed=22),
+        rounds=1, iterations=1)
+    ratios = result.schedulable_ratios()
+    print_series("Fig 2(c): p2p, 5 channels, vs #flows", ratios)
+    heavy = FLOWS[-1]
+    # The paper's headline: at heavy load NR collapses, reuse survives.
+    assert ratios["NR"][heavy] < ratios["RC"][heavy]
+    assert ratios["NR"][heavy] < ratios["RA"][heavy]

@@ -1,0 +1,53 @@
+"""Figure 3: schedulable ratio, peer-to-peer traffic, WUSTL testbed.
+
+(a) ratio vs #channels; (b) ratio vs #flows.  Same expected ordering as
+Figure 2 — the paper uses this testbed to demonstrate generality.
+The denser WUSTL network has shorter routes, so heavier flow counts are
+needed to saturate it.
+"""
+
+import pytest
+
+from repro.flows.generator import PeriodRange
+from repro.experiments.schedulability import run_sweep
+from repro.routing.traffic import TrafficType
+
+from conftest import print_series
+
+CHANNELS = [3, 4, 5, 8, 12, 16]
+FLOWS = [60, 100, 140, 180]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3a_vs_channels(benchmark, wustl, scale):
+    topology, _ = wustl
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.PEER_TO_PEER, "channels", CHANNELS),
+        kwargs=dict(fixed_flows=80, period_range=PeriodRange(-1, 3),
+                    num_flow_sets=scale["flow_sets"], seed=30),
+        rounds=1, iterations=1)
+    ratios = result.schedulable_ratios()
+    print_series("Fig 3(a): WUSTL p2p, P=[2^-1,2^3], 80 flows", ratios)
+    for x in CHANNELS:
+        assert ratios["RA"][x] >= ratios["NR"][x]
+        assert ratios["RC"][x] >= ratios["NR"][x]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3b_vs_flows(benchmark, wustl, scale):
+    topology, _ = wustl
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.PEER_TO_PEER, "flows", FLOWS),
+        kwargs=dict(fixed_channels=4, period_range=PeriodRange(-1, 3),
+                    num_flow_sets=scale["flow_sets"], seed=31),
+        rounds=1, iterations=1)
+    ratios = result.schedulable_ratios()
+    print_series("Fig 3(b): WUSTL p2p, 4 channels, vs #flows", ratios)
+    heavy = FLOWS[-1]
+    # NR collapses under heavy load while the reuse schedulers survive.
+    # (This point also shows the paper's caveat that RC can trail RA by
+    # up to ~20% in the worst case.)
+    assert ratios["NR"][heavy] < ratios["RC"][heavy]
+    assert ratios["NR"][heavy] < ratios["RA"][heavy]

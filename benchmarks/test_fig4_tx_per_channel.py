@@ -1,0 +1,54 @@
+"""Figure 4: distribution of transmissions per channel, RA vs RC (Indriya).
+
+(a) centralized, (b) peer-to-peer.  Expected shape: RC attains a higher
+proportion of 1 Tx/channel (no reuse) than RA, and schedules fewer
+concurrent transmissions per channel when a channel is reused.
+"""
+
+import pytest
+
+from repro.flows.generator import PeriodRange
+from repro.experiments.schedulability import run_sweep
+from repro.routing.traffic import TrafficType
+
+from conftest import print_histogram
+
+
+def _mean_bucket(histogram):
+    total = sum(histogram.values())
+    return sum(k * v for k, v in histogram.items()) / total
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4a_centralized(benchmark, indriya, scale):
+    topology, _ = indriya
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.CENTRALIZED, "channels", [3, 5, 8]),
+        kwargs=dict(fixed_flows=30, period_range=PeriodRange(-1, 3),
+                    num_flow_sets=scale["flow_sets"], seed=40,
+                    policies=("RA", "RC")),
+        rounds=1, iterations=1)
+    histograms = {policy: result.tx_per_cell_fractions(policy)
+                  for policy in ("RA", "RC")}
+    print_histogram("Fig 4(a): Tx/channel, centralized", histograms)
+    if histograms["RA"] and histograms["RC"]:
+        assert histograms["RC"].get(1, 0) >= histograms["RA"].get(1, 0)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4b_peer_to_peer(benchmark, indriya, scale):
+    topology, _ = indriya
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(topology, TrafficType.PEER_TO_PEER, "channels", [3, 5, 8]),
+        kwargs=dict(fixed_flows=50, period_range=PeriodRange(-1, 3),
+                    num_flow_sets=scale["flow_sets"], seed=41,
+                    policies=("RA", "RC")),
+        rounds=1, iterations=1)
+    histograms = {policy: result.tx_per_cell_fractions(policy)
+                  for policy in ("RA", "RC")}
+    print_histogram("Fig 4(b): Tx/channel, peer-to-peer", histograms)
+    # RC: more exclusive cells, fewer transmissions per reused channel.
+    assert histograms["RC"][1] > histograms["RA"][1]
+    assert _mean_bucket(histograms["RC"]) < _mean_bucket(histograms["RA"])

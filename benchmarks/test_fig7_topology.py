@@ -1,0 +1,47 @@
+"""Figure 7: the WUSTL testbed topology on channels 11-14.
+
+The paper shows the physical layout and connectivity.  We print the
+equivalent statistics of the synthetic stand-in: node count, floors,
+edges, degree distribution, and hop diameter at PRR_t = 0.9.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import prepare_network
+from repro.network.graphs import all_pairs_hops
+
+from conftest import print_series
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_wustl_topology(benchmark, wustl):
+    topology, environment = wustl
+
+    def build():
+        return prepare_network(topology, channels=(11, 12, 13, 14))
+
+    network = benchmark.pedantic(build, rounds=1, iterations=1)
+    graph = network.communication
+    hops = all_pairs_hops(graph.adjacency)
+    finite = hops[hops >= 0]
+    degrees = [graph.degree(i) for i in range(graph.num_nodes)]
+    floors = sorted({round(p.z) for p in
+                     (topology.node(i).position
+                      for i in range(topology.num_nodes))})
+    print("\n=== Fig 7: WUSTL topology (channels 11-14) ===")
+    print(f"nodes: {topology.num_nodes}   floors (z): {floors}")
+    print(f"communication edges: {graph.num_edges()}   "
+          f"connected: {graph.is_connected()}")
+    print(f"degree: mean {np.mean(degrees):.1f}  min {min(degrees)}  "
+          f"max {max(degrees)}")
+    print(f"hop diameter: {finite.max()}   mean path: "
+          f"{finite[finite > 0].mean():.2f}")
+    print(f"reuse graph: edges {network.reuse.num_edges()}   "
+          f"diameter {network.reuse.diameter()}")
+    print(f"access points (highest degree): {network.access_points}")
+
+    assert topology.num_nodes == 60
+    assert graph.is_connected()
+    assert finite.max() >= 3  # genuinely multi-hop
+    assert network.reuse.num_edges() > graph.num_edges()

@@ -1,0 +1,56 @@
+"""Figure 8: PDR box plots of 5 flow sets under NR / RA / RC (WUSTL).
+
+Paper setup: 50 flows (half at 2^-1 s, half at 2^0 s), 4 channels
+(11-14), each schedule executed 100 times.  Expected shape:
+
+* median PDR: all three close (within ~1-2%);
+* worst-case PDR: RC within a few percent of NR, RA tens of percent
+  below NR.
+"""
+
+import pytest
+
+from repro.experiments.reliability import run_reliability
+
+from conftest import print_series
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_pdr_boxplots(benchmark, wustl, scale):
+    topology, environment = wustl
+    outcomes = benchmark.pedantic(
+        run_reliability,
+        args=(topology, environment),
+        kwargs=dict(num_flow_sets=5, repetitions=scale["repetitions"],
+                    seed=0),
+        rounds=1, iterations=1)
+
+    print("\n=== Fig 8: PDR box plots (per flow set) ===")
+    by_set = {}
+    for outcome in outcomes:
+        by_set.setdefault(outcome.set_index, {})[outcome.policy] = outcome
+    medians = {p: {} for p in ("NR", "RA", "RC")}
+    worsts = {p: {} for p in ("NR", "RA", "RC")}
+    for set_index in sorted(by_set):
+        for policy, outcome in sorted(by_set[set_index].items()):
+            assert outcome.schedulable, (
+                f"{policy} failed to schedule flow set {set_index}")
+            print(f"set {set_index} {policy}: {outcome.pdr_box.row()}")
+            medians[policy][set_index] = outcome.median_pdr
+            worsts[policy][set_index] = outcome.worst_pdr
+    print_series("Fig 8 medians", medians)
+    print_series("Fig 8 worst-case", worsts)
+
+    for set_index in sorted(by_set):
+        nr = by_set[set_index]["NR"]
+        ra = by_set[set_index]["RA"]
+        rc = by_set[set_index]["RC"]
+        # Medians within a few percent of each other.
+        assert abs(rc.median_pdr - nr.median_pdr) <= 0.05
+        assert abs(ra.median_pdr - nr.median_pdr) <= 0.05
+        # RC's worst case stays close to NR's.
+        assert rc.worst_pdr >= nr.worst_pdr - 0.10
+    # RA's aggregate worst case falls clearly below NR's and RC's.
+    mean = lambda d: sum(d.values()) / len(d)
+    assert mean(worsts["RA"]) < mean(worsts["NR"]) - 0.02
+    assert mean(worsts["RA"]) < mean(worsts["RC"]) - 0.02

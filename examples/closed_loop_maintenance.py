@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""The full maintenance loop the paper's Section VI enables.
+
+1. Schedule a heavy workload aggressively (RA) — many shared cells.
+2. Execute the schedule in the simulator and build health-report epochs.
+3. Run the K-S detection policy to find links whose reliability is
+   degraded *by channel reuse* (not by other causes).
+4. Reschedule with those victim links barred from sharing a channel.
+5. Re-simulate and verify the victims' PRRs recovered.
+
+Run:  python examples/closed_loop_maintenance.py
+"""
+
+import numpy as np
+
+from repro import PeriodRange, TrafficType, make_wustl
+from repro.core import AggressiveReusePolicy, reschedule_without_reuse_on
+from repro.detection import (
+    DetectionConfig,
+    Verdict,
+    build_epoch_reports,
+    diagnose_epoch,
+)
+from repro.experiments import (
+    build_workload,
+    prepare_network,
+    schedule_workload,
+)
+from repro.simulator import SimulationConfig, TschSimulator
+
+EPOCHS = 3
+REPS_PER_EPOCH = 18
+
+
+def simulate(schedule, flows, environment, network, seed):
+    simulator = TschSimulator(
+        schedule, flows, environment, network.topology.channel_map,
+        config=SimulationConfig(seed=seed))
+    return simulator.run(EPOCHS * REPS_PER_EPOCH)
+
+
+def detect_victims(stats, config=DetectionConfig()):
+    victims = set()
+    for report in build_epoch_reports(stats, REPS_PER_EPOCH):
+        for diagnosis in diagnose_epoch(report, config):
+            if diagnosis.verdict is Verdict.REJECT:
+                victims.add(diagnosis.link)
+    return sorted(victims)
+
+
+def main():
+    print("Synthesizing the WUSTL-like testbed ...")
+    topology, environment = make_wustl()
+    network = prepare_network(topology, channels=(11, 12, 13, 14))
+
+    rng = np.random.default_rng(7)
+    flows = build_workload(network, 70, PeriodRange(-1, 1),
+                           TrafficType.PEER_TO_PEER, rng)
+    print(f"Workload: {len(flows)} flows, hyperperiod "
+          f"{flows.hyperperiod()} slots")
+
+    print("\nStep 1-2: schedule with RA and execute "
+          f"{EPOCHS * REPS_PER_EPOCH} times ...")
+    original = schedule_workload(network, flows, "RA")
+    if not original.schedulable:
+        raise SystemExit("workload unschedulable — try another seed")
+    print(f"  {original.schedule.num_reused_cells()} shared cells, "
+          f"{len(original.schedule.reuse_links())} links involved in reuse")
+    stats = simulate(original.schedule, flows, environment, network, seed=7)
+    print(f"  worst per-flow PDR: {stats.worst_pdr():.3f}")
+
+    print("\nStep 3: detect reuse-degraded links (K-S test, alpha=0.05) ...")
+    victims = detect_victims(stats)
+    if not victims:
+        print("  no reuse-degraded links this run — nothing to fix")
+        return
+    for link in victims:
+        before_reuse = stats.overall_link_prr(link, shared_cell=True)
+        before_cf = stats.overall_link_prr(link, shared_cell=False)
+        cf_text = "-" if before_cf is None else f"{before_cf:.2f}"
+        print(f"  victim {link}: PRR {before_reuse:.2f} in shared cells "
+              f"vs {cf_text} contention-free")
+
+    print("\nStep 4-5: iterate reschedule -> re-simulate -> re-detect.")
+    print("(Moving victims can create new reuse pairings elsewhere, so")
+    print("the loop accumulates victims until detection comes back clean.)")
+    all_victims = set(victims)
+    best_worst = stats.worst_pdr()
+    for round_number in range(1, 5):
+        # Repair keeps the original (RA) policy for everything else:
+        # at this utilization an RC rebuild would not leave enough free
+        # cells for the barred links, so only the victims change.
+        repaired = reschedule_without_reuse_on(
+            flows, network.topology.num_nodes, 4, network.reuse,
+            AggressiveReusePolicy(rho_t=2), sorted(all_victims))
+        if not repaired.schedulable:
+            raise SystemExit("  rescheduling failed — more channels needed")
+        stats_after = simulate(repaired.schedule, flows, environment,
+                               network, seed=7)
+        new_victims = set(detect_victims(stats_after)) - all_victims
+        print(f"  round {round_number}: "
+              f"{repaired.schedule.num_reused_cells()} shared cells, "
+              f"worst PDR {stats_after.worst_pdr():.3f}, "
+              f"new victims {sorted(new_victims)}")
+        best_worst = stats_after.worst_pdr()
+        if not new_victims:
+            break
+        all_victims |= new_victims
+
+    print("\nVerifying the original victims recovered:")
+    for link in victims:
+        after = stats_after.overall_link_prr(link, shared_cell=False)
+        print(f"  victim {link}: contention-free PRR now "
+              f"{after if after is None else round(after, 2)}")
+    print(f"\nworst per-flow PDR: {stats.worst_pdr():.3f} (before) -> "
+          f"{best_worst:.3f} (after {round_number} repair rounds)")
+
+
+if __name__ == "__main__":
+    main()

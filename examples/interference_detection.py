@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Detecting why a link went bad: channel reuse vs external interference.
+
+Runs the paper's Section VI detection policy end to end:
+
+1. Schedule 80 peer-to-peer flows on channels 11-14 with RA and RC.
+2. Execute each schedule for several 18-repetition health-report epochs,
+   first in clean air and then with WiFi interferers (one per floor on
+   WiFi channel 1, which overlaps 802.15.4 channels 11-14).
+3. For every reuse-involved link whose reuse-slot PRR drops below 0.9,
+   run the two-sample K-S test against its contention-free PRR
+   distribution: *reject* means channel reuse is the culprit (reschedule
+   the link), *accept* means the cause is elsewhere (rescheduling would
+   not help).
+
+Run:  python examples/interference_detection.py
+"""
+
+from repro import make_wustl
+from repro.detection import Verdict
+from repro.experiments import run_detection
+from repro.testbeds import WUSTL_PLAN
+
+
+def main():
+    print("Synthesizing the WUSTL-like testbed ...")
+    topology, environment = make_wustl()
+
+    print("Running RA and RC under clean air and WiFi interference "
+          "(3 epochs x 18 repetitions each) ...\n")
+    outcomes = run_detection(topology, environment, WUSTL_PLAN,
+                             num_epochs=3, seed=0)
+
+    for outcome in outcomes:
+        print(f"--- {outcome.policy} / {outcome.condition} ---")
+        if not outcome.schedulable:
+            print("  unschedulable")
+            continue
+        print(f"  links involved in channel reuse: "
+              f"{len(outcome.reuse_links)}")
+        rejected = outcome.rejected_links()
+        accepted = outcome.accepted_links()
+        print(f"  below PRR_t in some epoch: {len(outcome.low_prr_links)}"
+              f"  ->  reuse-degraded (reject): {len(rejected)}, "
+              f"other causes (accept): {len(accepted)}")
+        for epoch, diagnoses in sorted(outcome.diagnoses.items()):
+            for diagnosis in diagnoses:
+                if diagnosis.verdict is Verdict.OK:
+                    continue
+                cf = diagnosis.contention_free_prr
+                cf_text = "-" if cf is None else f"{cf:.2f}"
+                print(f"    epoch {epoch} link {diagnosis.link}: "
+                      f"reuse PRR {diagnosis.reuse_prr:.2f}, "
+                      f"contention-free {cf_text} -> "
+                      f"{diagnosis.verdict.value}"
+                      + (f" (p = {diagnosis.ks.p_value:.3f})"
+                         if diagnosis.ks else ""))
+        print()
+
+    print("Reading: rejected links are healthy without reuse and sick "
+          "with it (reschedule them); accepted links are sick either "
+          "way — the WiFi interferers, not channel reuse, are to blame.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Process-monitoring scenario: centralized control traffic.
+
+Models the classic process-industry deployment the paper's introduction
+motivates: sensors report to a controller behind the gateway, which
+sends commands back to actuators.  Every packet crosses an access point,
+so the wireless medium around the APs becomes the bottleneck — exactly
+where channel reuse pays off when channels are scarce.
+
+The script sweeps the number of available channels and reports the
+schedulable ratio of each policy, reproducing the shape of the paper's
+Figure 1 in miniature.
+
+Run:  python examples/process_monitoring.py
+"""
+
+from repro import TrafficType, make_indriya
+from repro.experiments import run_sweep
+from repro.flows import PeriodRange
+
+
+def main():
+    print("Synthesizing the Indriya-like testbed ...")
+    topology, _ = make_indriya()
+
+    print("Scheduling 30-flow centralized workloads "
+          "(P = [0.5 s, 8 s], 8 random flow sets per point) ...\n")
+    result = run_sweep(
+        topology, TrafficType.CENTRALIZED, vary="channels",
+        values=[3, 4, 5, 8], fixed_flows=30,
+        period_range=PeriodRange(-1, 3), num_flow_sets=8, seed=11)
+
+    ratios = result.schedulable_ratios()
+    print("Schedulable ratio vs number of channels "
+          "(centralized traffic):")
+    print("  channels:", "  ".join(f"{x:>5}" for x in result.values))
+    for policy in ("NR", "RA", "RC"):
+        row = "  ".join(f"{ratios[policy][x]:5.2f}" for x in result.values)
+        print(f"  {policy:>8}: {row}")
+
+    print("\nHow much channel sharing did that cost?")
+    for policy in ("RA", "RC"):
+        fractions = result.tx_per_cell_fractions(policy)
+        exclusive = fractions.get(1, 0.0)
+        print(f"  {policy}: {exclusive:.0%} of occupied cells kept a "
+              f"channel exclusive "
+              f"(max {max(fractions)} concurrent transmissions)")
+
+    print("\nReading: RA and RC rescue workloads NR cannot schedule at "
+          "3-4 channels, but RC does it while leaving most cells "
+          "exclusive — the conservative trade the paper argues for.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Reliability study: what channel reuse costs over the air.
+
+Schedules the paper's reliability workload (50 peer-to-peer flows, half
+at 0.5 s and half at 1 s, channels 11-14) on the WUSTL-like testbed with
+NR, RA, and RC, then *executes* each schedule in the SINR-based slot
+simulator and compares per-flow Packet Delivery Ratios.
+
+Expected outcome (paper Figure 8): all three deliver similar median PDR,
+but RA's worst-case flow collapses while RC stays within a few percent
+of the no-reuse baseline.
+
+Run:  python examples/reliability_study.py
+"""
+
+from collections import defaultdict
+
+from repro import make_wustl
+from repro.experiments import run_reliability
+
+
+def main():
+    print("Synthesizing the 60-node WUSTL-like testbed ...")
+    topology, environment = make_wustl()
+
+    print("Scheduling and simulating 3 flow sets x 3 policies "
+          "(60 schedule executions each) ...\n")
+    outcomes = run_reliability(topology, environment, num_flow_sets=3,
+                               repetitions=60, seed=0)
+
+    by_set = defaultdict(dict)
+    for outcome in outcomes:
+        by_set[outcome.set_index][outcome.policy] = outcome
+
+    print(f"{'flow set':>9} {'policy':>7} {'median PDR':>11} "
+          f"{'worst PDR':>10} {'shared cells':>13}")
+    for set_index in sorted(by_set):
+        for policy in ("NR", "RA", "RC"):
+            outcome = by_set[set_index][policy]
+            if not outcome.schedulable:
+                print(f"{set_index:>9} {policy:>7} {'unschedulable':>22}")
+                continue
+            shared = sum(v for k, v in outcome.tx_hist.items() if k > 1)
+            print(f"{set_index:>9} {policy:>7} {outcome.median_pdr:>11.3f} "
+                  f"{outcome.worst_pdr:>10.3f} {shared:>13}")
+
+    print("\nReading: RC buys NR-level reliability while keeping the "
+          "schedulability benefits of reuse; RA pays for its aggressive "
+          "packing with a collapsed worst-case flow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+Allows editable installs in offline environments where the PEP 517
+editable-wheel path is unavailable (no ``wheel`` package):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

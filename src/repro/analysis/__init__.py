@@ -1,0 +1,54 @@
+"""Metrics and summaries over schedules and simulation outcomes."""
+
+from repro.analysis.energy import (
+    NodeEnergy,
+    RadioPowerProfile,
+    network_lifetime_days,
+    superframe_energy,
+)
+from repro.analysis.latency import (
+    InstanceLatency,
+    LatencySummary,
+    instance_latencies,
+    per_flow_worst_latency,
+)
+
+from repro.analysis.response_time import (
+    ResponseTimeResult,
+    analyze_flow_set,
+    is_schedulable_by_analysis,
+    response_time_bound,
+    slot_demand,
+)
+from repro.analysis.metrics import (
+    BoxStats,
+    cell_min_reuse_hops,
+    reuse_hop_distribution,
+    reuse_hop_fractions,
+    schedulable_ratio,
+    tx_per_cell_distribution,
+    tx_per_cell_fractions,
+)
+
+__all__ = [
+    "BoxStats",
+    "InstanceLatency",
+    "LatencySummary",
+    "NodeEnergy",
+    "RadioPowerProfile",
+    "instance_latencies",
+    "network_lifetime_days",
+    "per_flow_worst_latency",
+    "superframe_energy",
+    "ResponseTimeResult",
+    "analyze_flow_set",
+    "is_schedulable_by_analysis",
+    "response_time_bound",
+    "slot_demand",
+    "cell_min_reuse_hops",
+    "reuse_hop_distribution",
+    "reuse_hop_fractions",
+    "schedulable_ratio",
+    "tx_per_cell_distribution",
+    "tx_per_cell_fractions",
+]

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the experiment runners so results are reproducible from
+a shell without writing Python:
+
+* ``topology`` — synthesize a testbed, print statistics, optionally save;
+* ``sweep`` — schedulable-ratio sweep (Figures 1-3);
+* ``reliability`` — scheduled-then-simulated PDR comparison (Figure 8);
+* ``detection`` — K-S detection experiment (Figures 10-11).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import prepare_network
+from repro.experiments.detection_exp import run_detection
+from repro.experiments.reliability import run_reliability
+from repro.experiments.schedulability import run_sweep
+from repro.flows.generator import PeriodRange
+from repro.routing.traffic import TrafficType
+
+
+def _make_testbed(name: str, seed: Optional[int]):
+    from repro.testbeds import make_indriya, make_wustl
+
+    if name == "indriya":
+        return make_indriya(**({} if seed is None else {"seed": seed}))
+    if name == "wustl":
+        return make_wustl(**({} if seed is None else {"seed": seed}))
+    raise SystemExit(f"unknown testbed: {name!r} (indriya or wustl)")
+
+
+def _plan_for(name: str):
+    from repro.testbeds import INDRIYA_PLAN, WUSTL_PLAN
+
+    return INDRIYA_PLAN if name == "indriya" else WUSTL_PLAN
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    topology, _ = _make_testbed(args.testbed, args.seed)
+    network = prepare_network(topology, num_channels=args.channels)
+    summary = topology.summary()
+    print(f"testbed: {topology.name}  nodes: {topology.num_nodes}  "
+          f"channels in use: {args.channels}")
+    print(f"communication graph: {network.communication.num_edges()} edges, "
+          f"connected: {network.communication.is_connected()}")
+    print(f"reuse graph: {network.reuse.num_edges()} edges, "
+          f"diameter {network.reuse.diameter()}")
+    print(f"mean degree (PRR>=0.9 all channels): {summary['mean_degree']:.1f}")
+    print(f"access points: {network.access_points}")
+    if args.save:
+        from repro.io import save_topology
+
+        save_topology(network.topology, args.save)
+        print(f"saved channel-restricted topology to {args.save}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    topology, _ = _make_testbed(args.testbed, args.seed)
+    traffic = (TrafficType.CENTRALIZED if args.traffic == "centralized"
+               else TrafficType.PEER_TO_PEER)
+    result = run_sweep(
+        topology, traffic, vary=args.vary, values=args.values,
+        fixed_channels=args.channels, fixed_flows=args.flows,
+        period_range=PeriodRange(args.period_min_exp, args.period_max_exp),
+        num_flow_sets=args.flow_sets, seed=args.seed or 0)
+    ratios = result.schedulable_ratios()
+    print(f"schedulable ratio vs {args.vary} ({args.traffic}, "
+          f"{args.flow_sets} flow sets/point):")
+    print("  x:  " + "  ".join(f"{x:>6}" for x in result.values))
+    for policy in result.policies:
+        row = "  ".join(f"{ratios[policy][x]:6.2f}" for x in result.values)
+        print(f"  {policy:>2}: {row}")
+    return 0
+
+
+def cmd_reliability(args: argparse.Namespace) -> int:
+    topology, environment = _make_testbed(args.testbed, args.seed)
+    outcomes = run_reliability(
+        topology, environment, num_flow_sets=args.flow_sets,
+        repetitions=args.repetitions, seed=args.seed or 0)
+    print(f"{'set':>4} {'policy':>7} {'median':>7} {'worst':>7}")
+    for outcome in outcomes:
+        if not outcome.schedulable:
+            print(f"{outcome.set_index:>4} {outcome.policy:>7} "
+                  f"{'unschedulable':>15}")
+            continue
+        print(f"{outcome.set_index:>4} {outcome.policy:>7} "
+              f"{outcome.median_pdr:7.3f} {outcome.worst_pdr:7.3f}")
+    return 0
+
+
+def cmd_detection(args: argparse.Namespace) -> int:
+    topology, environment = _make_testbed(args.testbed, args.seed)
+    outcomes = run_detection(
+        topology, environment, _plan_for(args.testbed),
+        num_flows=args.flows, num_epochs=args.epochs, seed=args.seed or 0)
+    for outcome in outcomes:
+        rejected = outcome.rejected_links()
+        accepted = outcome.accepted_links()
+        print(f"{outcome.policy}/{outcome.condition}: "
+              f"reuse links {len(outcome.reuse_links)}, "
+              f"rejected {len(rejected)}, accepted {len(accepted)}")
+        for link in rejected:
+            print(f"  reuse-degraded: {link}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conservative channel reuse for industrial WSANs "
+                    "(ICDCS 2018 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--testbed", default="indriya",
+                       choices=("indriya", "wustl"))
+        p.add_argument("--seed", type=int, default=None)
+
+    p = sub.add_parser("topology", help="synthesize and inspect a testbed")
+    common(p)
+    p.add_argument("--channels", type=int, default=5)
+    p.add_argument("--save", default=None, help="save topology to .npz")
+    p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser("sweep", help="schedulable-ratio sweep (Figs 1-3)")
+    common(p)
+    p.add_argument("--traffic", default="p2p",
+                   choices=("p2p", "centralized"))
+    p.add_argument("--vary", default="channels",
+                   choices=("channels", "flows"))
+    p.add_argument("--values", type=int, nargs="+",
+                   default=[3, 4, 5, 8])
+    p.add_argument("--channels", type=int, default=5,
+                   help="fixed channel count when varying flows")
+    p.add_argument("--flows", type=int, default=30,
+                   help="fixed flow count when varying channels")
+    p.add_argument("--period-min-exp", type=int, default=-1)
+    p.add_argument("--period-max-exp", type=int, default=3)
+    p.add_argument("--flow-sets", type=int, default=8)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("reliability", help="simulated PDR (Fig 8)")
+    common(p)
+    p.set_defaults(testbed="wustl")
+    p.add_argument("--flow-sets", type=int, default=3)
+    p.add_argument("--repetitions", type=int, default=50)
+    p.set_defaults(func=cmd_reliability)
+
+    p = sub.add_parser("detection", help="K-S detection (Figs 10-11)")
+    common(p)
+    p.set_defaults(testbed="wustl")
+    p.add_argument("--flows", type=int, default=80)
+    p.add_argument("--epochs", type=int, default=3)
+    p.set_defaults(func=cmd_detection)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

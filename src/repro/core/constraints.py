@@ -1,0 +1,107 @@
+"""Channel reuse constraints (paper Section V-A).
+
+A transmission ``t = (u, v)`` may occupy slot ``s`` and channel offset
+``c`` iff:
+
+1. *Transmission conflict*: ``t`` shares no node with any transmission
+   already in slot ``s`` (half-duplex radios perform one operation per
+   slot).
+2. *Channel constraint*:
+   a. ``ρ = ∞`` (no reuse): offset ``c`` must be empty in slot ``s``.
+   b. ``ρ < ∞``: for every ``(x, y)`` already in cell ``(s, c)``, the new
+      sender ``u`` must be at least ρ reuse-graph hops from the existing
+      receiver ``y``, and the existing sender ``x`` at least ρ hops from
+      the new receiver ``v``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.core.schedule import Schedule
+from repro.network.graphs import ChannelReuseGraph
+
+#: Convenience alias: "channel reuse disabled".
+NO_REUSE = math.inf
+
+
+def conflicts_in_slot(schedule: Schedule, sender: int, receiver: int,
+                      slot: int) -> bool:
+    """Whether the link conflicts with any transmission in the slot."""
+    return schedule.node_busy(sender, slot) or schedule.node_busy(receiver, slot)
+
+
+def offset_satisfies_channel_constraint(schedule: Schedule,
+                                        reuse_graph: ChannelReuseGraph,
+                                        sender: int, receiver: int,
+                                        slot: int, offset: int,
+                                        rho: float) -> bool:
+    """Check the channel constraint for one candidate cell.
+
+    ``rho`` may be ``math.inf`` (reuse disabled) or a finite hop count.
+    An empty cell always satisfies the constraint.
+    """
+    occupants = schedule.cell(slot, offset)
+    if not occupants:
+        return True
+    if rho == NO_REUSE:
+        return False
+    for entry in occupants:
+        x = entry.request.sender
+        y = entry.request.receiver
+        if not reuse_graph.at_least_hops_apart(sender, y, rho):
+            return False
+        if not reuse_graph.at_least_hops_apart(x, receiver, rho):
+            return False
+    return True
+
+
+def feasible_offsets(schedule: Schedule, reuse_graph: ChannelReuseGraph,
+                     sender: int, receiver: int, slot: int,
+                     rho: float) -> List[int]:
+    """All channel offsets satisfying the channel constraint in a slot.
+
+    Assumes the transmission-conflict check for the slot already passed.
+    """
+    return [offset for offset in range(schedule.num_offsets)
+            if offset_satisfies_channel_constraint(
+                schedule, reuse_graph, sender, receiver, slot, offset, rho)]
+
+
+def placement_is_valid(schedule: Schedule, reuse_graph: ChannelReuseGraph,
+                       sender: int, receiver: int, slot: int, offset: int,
+                       rho: float) -> bool:
+    """Full reuse-constraint check for a candidate placement."""
+    if conflicts_in_slot(schedule, sender, receiver, slot):
+        return False
+    return offset_satisfies_channel_constraint(
+        schedule, reuse_graph, sender, receiver, slot, offset, rho)
+
+
+def validate_schedule(schedule: Schedule, reuse_graph: ChannelReuseGraph,
+                      rho_t: float) -> Optional[str]:
+    """Audit a finished schedule against the reuse constraints.
+
+    Every shared cell must keep all its sender→other-receiver distances at
+    or above ``rho_t`` (the weakest constraint RC/RA may have used).
+
+    Returns:
+        None if the schedule is valid, else a description of the first
+        violation found.
+    """
+    for slot, offset, transmissions in schedule.occupied_cells():
+        for i, first in enumerate(transmissions):
+            for second in transmissions[i + 1:]:
+                u, v = first.request.sender, first.request.receiver
+                x, y = second.request.sender, second.request.receiver
+                if {u, v} & {x, y}:
+                    return (f"cell ({slot},{offset}): node shared between "
+                            f"{first.request} and {second.request}")
+                if not reuse_graph.at_least_hops_apart(u, y, rho_t):
+                    return (f"cell ({slot},{offset}): {u}->{y} closer than "
+                            f"rho_t={rho_t}")
+                if not reuse_graph.at_least_hops_apart(x, v, rho_t):
+                    return (f"cell ({slot},{offset}): {x}->{v} closer than "
+                            f"rho_t={rho_t}")
+    return None

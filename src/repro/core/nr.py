@@ -1,0 +1,34 @@
+"""NR — the WirelessHART standard policy: no channel reuse.
+
+Each (slot, channel offset) cell holds at most one transmission, so a
+slot accommodates at most ``|M|`` concurrent transmissions.  This is the
+paper's first baseline (DM + no reuse).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.constraints import NO_REUSE
+from repro.core.schedule import Schedule
+from repro.core.scheduler import OFFSET_FIRST, find_slot
+from repro.core.transmissions import TransmissionRequest
+from repro.flows.flow import Flow
+from repro.network.graphs import ChannelReuseGraph
+
+
+class NoReusePolicy:
+    """Earliest slot, exclusive channel (WirelessHART default)."""
+
+    name = "NR"
+
+    def start_flow(self, flow: Flow) -> None:
+        """No per-flow state."""
+
+    def place(self, schedule: Schedule, reuse_graph: ChannelReuseGraph,
+              request: TransmissionRequest, earliest: int,
+              remaining: Sequence[TransmissionRequest],
+              ) -> Optional[Tuple[int, int]]:
+        """Earliest conflict-free slot with an unused channel offset."""
+        return find_slot(schedule, reuse_graph, request, NO_REUSE,
+                         earliest, OFFSET_FIRST)

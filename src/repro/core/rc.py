@@ -1,0 +1,111 @@
+"""RC — Reuse Conservatively (paper Algorithm 1).
+
+RC first tries to place each transmission with channel reuse disabled
+(ρ = ∞).  If the resulting flow laxity is non-negative — the remaining
+transmissions of the flow still fit before the deadline — no reuse is
+introduced.  Otherwise RC enables reuse starting from the *largest*
+meaningful hop distance, λ_R (the reuse graph's diameter), and walks ρ
+down toward the floor ρ_t until the laxity becomes non-negative, keeping
+the interference risk as low as the deadline allows.  Among feasible
+offsets, RC picks the least-loaded channel to limit cumulative
+interference.
+
+Interpretation note (see DESIGN.md §6): Algorithm 1 as printed resets
+ρ ← ∞ once per *flow*, while the prose resets it per *transmission*.
+The per-transmission reset is the more conservative reading and is the
+default; ``rho_reset="flow"`` reproduces the literal pseudocode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.constraints import NO_REUSE
+from repro.core.laxity import calculate_laxity
+from repro.core.ra import DEFAULT_RHO_T
+from repro.core.schedule import Schedule
+from repro.core.scheduler import OFFSET_LEAST_LOADED, find_slot
+from repro.core.transmissions import TransmissionRequest
+from repro.flows.flow import Flow
+from repro.network.graphs import ChannelReuseGraph
+
+#: Valid values for the ρ reset scope.
+RHO_RESET_TRANSMISSION = "transmission"
+RHO_RESET_FLOW = "flow"
+
+
+@dataclass
+class ConservativeReusePolicy:
+    """The RC placement policy (Algorithm 1's inner loop).
+
+    Attributes:
+        rho_t: Minimum admissible reuse hop count (the floor; 2 in the
+            paper's evaluation, matching RA for fairness).
+        rho_reset: ``"transmission"`` (default, prose reading) resets
+            ρ ← ∞ before every transmission; ``"flow"`` resets once per
+            flow as in the printed pseudocode.
+        offset_rule: Channel-offset selection within the chosen slot.
+            The paper's RC picks the least-loaded feasible channel
+            (default); ``"first"`` is available for ablation studies.
+    """
+
+    rho_t: int = DEFAULT_RHO_T
+    rho_reset: str = RHO_RESET_TRANSMISSION
+    offset_rule: str = OFFSET_LEAST_LOADED
+    name: str = "RC"
+    _rho: float = field(default=NO_REUSE, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rho_t < 1:
+            raise ValueError("rho_t must be at least 1")
+        if self.rho_reset not in (RHO_RESET_TRANSMISSION, RHO_RESET_FLOW):
+            raise ValueError(f"unknown rho_reset: {self.rho_reset}")
+
+    def start_flow(self, flow: Flow) -> None:
+        """Reset ρ at flow boundaries (always correct for both modes)."""
+        self._rho = NO_REUSE
+
+    def place(self, schedule: Schedule, reuse_graph: ChannelReuseGraph,
+              request: TransmissionRequest, earliest: int,
+              remaining: Sequence[TransmissionRequest],
+              ) -> Optional[Tuple[int, int]]:
+        """Find the placement with the least channel reuse that keeps laxity ≥ 0.
+
+        Mirrors Algorithm 1: repeatedly call ``findSlot`` and
+        ``calculateLaxity``, relaxing ρ from ∞ to λ_R and downward until
+        the laxity is non-negative or ρ falls below ρ_t.  The last
+        placement found is used even if its laxity stayed negative (the
+        laxity estimate is conservative); the engine rejects it only if
+        it misses the deadline — which ``findSlot`` already enforces.
+        """
+        if self.rho_reset == RHO_RESET_TRANSMISSION:
+            self._rho = NO_REUSE
+        rho = self._rho
+
+        best: Optional[Tuple[int, int]] = None
+        while rho >= self.rho_t:
+            found = find_slot(schedule, reuse_graph, request, rho,
+                              earliest, self.offset_rule)
+            if found is not None:
+                best = found
+                laxity = calculate_laxity(
+                    schedule, found[0], request.deadline_slot, remaining)
+                if laxity >= 0:
+                    break
+            if rho == NO_REUSE:
+                rho = reuse_graph.diameter()
+                if rho < self.rho_t:
+                    # Degenerate reuse graph: no finite hop count can be
+                    # tried; stick with the no-reuse placement.
+                    break
+            else:
+                rho -= 1
+
+        if self.rho_reset == RHO_RESET_FLOW:
+            # Persist ρ across the flow's remaining transmissions, clamped
+            # to the admissible floor (the loop may exit at ρ_t - 1).
+            self._rho = max(rho, self.rho_t)
+        else:
+            self._rho = NO_REUSE
+        return best

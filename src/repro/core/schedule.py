@@ -1,0 +1,219 @@
+"""The transmission schedule: a slot × channel-offset cell grid.
+
+The network manager's output is an assignment of transmission attempts to
+(time slot, channel offset) cells over one hyperperiod.  This structure
+maintains the bookkeeping the schedulers and the laxity heuristic query on
+their hot paths:
+
+* ``busy[node, slot]`` — whether a node transmits or receives in a slot
+  (transmission-conflict checks, laxity's ``q`` terms);
+* per-(slot, offset) entry lists — channel-constraint checks and reuse
+  statistics;
+* per-slot used-offset bitmasks — fast "any free channel?" queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.core.transmissions import TransmissionRequest
+
+
+@dataclass(frozen=True)
+class ScheduledTransmission:
+    """A transmission request bound to a (slot, channel offset) cell."""
+
+    request: TransmissionRequest
+    slot: int
+    offset: int
+
+    def __str__(self) -> str:
+        return f"{self.request} @ slot {self.slot} offset {self.offset}"
+
+
+class Schedule:
+    """A mutable transmission schedule over one hyperperiod.
+
+    Attributes:
+        num_nodes: Number of devices.
+        num_slots: Hyperperiod length in slots.
+        num_offsets: Number of channel offsets ``|M|``.
+    """
+
+    def __init__(self, num_nodes: int, num_slots: int, num_offsets: int):
+        if num_nodes <= 0 or num_slots <= 0 or num_offsets <= 0:
+            raise ValueError("dimensions must be positive")
+        self.num_nodes = num_nodes
+        self.num_slots = num_slots
+        self.num_offsets = num_offsets
+        self._entries: List[ScheduledTransmission] = []
+        self._busy = np.zeros((num_nodes, num_slots), dtype=bool)
+        self._cells: Dict[Tuple[int, int], List[int]] = {}
+        self._used_mask = np.zeros(num_slots, dtype=np.int32)
+        self._slot_entries: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, request: TransmissionRequest, slot: int, offset: int
+            ) -> ScheduledTransmission:
+        """Bind a request to a cell.
+
+        Performs sanity checks (bounds and transmission-conflict freedom)
+        but *not* channel-constraint checks — those depend on the reuse
+        policy and are the scheduler's job.
+
+        Raises:
+            ValueError: On out-of-range slot/offset or a node conflict.
+        """
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")
+        if not 0 <= offset < self.num_offsets:
+            raise ValueError(
+                f"offset {offset} out of range [0, {self.num_offsets})")
+        if self._busy[request.sender, slot] or self._busy[request.receiver, slot]:
+            raise ValueError(
+                f"node conflict placing {request} at slot {slot}")
+
+        entry = ScheduledTransmission(request, slot, offset)
+        index = len(self._entries)
+        self._entries.append(entry)
+        self._busy[request.sender, slot] = True
+        self._busy[request.receiver, slot] = True
+        self._cells.setdefault((slot, offset), []).append(index)
+        self._used_mask[slot] |= (1 << offset)
+        self._slot_entries.setdefault(slot, []).append(index)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries used by the schedulers
+    # ------------------------------------------------------------------
+
+    @property
+    def entries(self) -> List[ScheduledTransmission]:
+        """All scheduled transmissions, in placement order."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def node_busy(self, node: int, slot: int) -> bool:
+        """Whether a node transmits or receives in a slot."""
+        return bool(self._busy[node, slot])
+
+    def conflict_mask(self, sender: int, receiver: int,
+                      start: int, end: int) -> np.ndarray:
+        """Boolean mask over ``[start, end]`` of slots conflicting for a link.
+
+        ``mask[i]`` is True iff slot ``start + i`` already contains a
+        transmission sharing the sender or the receiver.
+        """
+        if start > end:
+            return np.zeros(0, dtype=bool)
+        window = slice(start, end + 1)
+        return self._busy[sender, window] | self._busy[receiver, window]
+
+    def conflict_count(self, sender: int, receiver: int,
+                       start: int, end: int) -> int:
+        """Number of conflicting slots in ``[start, end]`` for a link.
+
+        This is the paper's ``q_{start,end}^t`` term in the laxity formula.
+        """
+        return int(np.count_nonzero(
+            self.conflict_mask(sender, receiver, start, end)))
+
+    def cell(self, slot: int, offset: int) -> List[ScheduledTransmission]:
+        """Transmissions scheduled in a (slot, offset) cell."""
+        return [self._entries[i] for i in self._cells.get((slot, offset), [])]
+
+    def cell_size(self, slot: int, offset: int) -> int:
+        """Number of transmissions in a cell."""
+        return len(self._cells.get((slot, offset), []))
+
+    def used_offsets(self, slot: int) -> List[int]:
+        """Channel offsets with at least one transmission in a slot."""
+        mask = int(self._used_mask[slot])
+        return [c for c in range(self.num_offsets) if mask & (1 << c)]
+
+    def free_offsets(self, slot: int) -> List[int]:
+        """Channel offsets with no transmission in a slot."""
+        mask = int(self._used_mask[slot])
+        return [c for c in range(self.num_offsets) if not mask & (1 << c)]
+
+    def has_free_offset(self, slot: int) -> bool:
+        """Whether any channel offset in the slot is unused."""
+        return int(self._used_mask[slot]).bit_count() < self.num_offsets
+
+    def free_offset_slots(self, start: int, end: int) -> np.ndarray:
+        """Mask over ``[start, end]``: True where some offset is free."""
+        if start > end:
+            return np.zeros(0, dtype=bool)
+        full = (1 << self.num_offsets) - 1
+        return self._used_mask[start:end + 1] != full
+
+    def slot_transmissions(self, slot: int) -> List[ScheduledTransmission]:
+        """All transmissions in a slot (any offset) — the paper's T_s."""
+        return [self._entries[i] for i in self._slot_entries.get(slot, [])]
+
+    # ------------------------------------------------------------------
+    # Whole-schedule queries (metrics, simulation)
+    # ------------------------------------------------------------------
+
+    def occupied_cells(self) -> Iterator[Tuple[int, int, List[ScheduledTransmission]]]:
+        """Yield ``(slot, offset, transmissions)`` for every non-empty cell."""
+        for (slot, offset), indices in sorted(self._cells.items()):
+            yield slot, offset, [self._entries[i] for i in indices]
+
+    def reused_cells(self) -> List[Tuple[int, int, List[ScheduledTransmission]]]:
+        """Cells holding more than one transmission (channel reuse)."""
+        return [(s, c, txs) for s, c, txs in self.occupied_cells()
+                if len(txs) > 1]
+
+    def num_reused_cells(self) -> int:
+        """Number of cells where a channel is shared."""
+        return len(self.reused_cells())
+
+    def reuse_links(self) -> List[Tuple[int, int]]:
+        """Directed links that appear in at least one shared cell."""
+        links = set()
+        for _, _, transmissions in self.reused_cells():
+            for entry in transmissions:
+                links.add(entry.request.link)
+        return sorted(links)
+
+    def entries_by_slot(self) -> Dict[int, List[ScheduledTransmission]]:
+        """All transmissions grouped by slot (for the simulator)."""
+        return {slot: [self._entries[i] for i in indices]
+                for slot, indices in sorted(self._slot_entries.items())}
+
+    def makespan(self) -> int:
+        """Last occupied slot + 1, or 0 for an empty schedule."""
+        if not self._slot_entries:
+            return 0
+        return max(self._slot_entries) + 1
+
+    def validate_basic(self) -> None:
+        """Re-check structural invariants (used by tests).
+
+        Verifies that no two transmissions in a slot share a node and that
+        the busy matrix matches the entry list.
+
+        Raises:
+            AssertionError: If an invariant is violated.
+        """
+        busy_check = np.zeros_like(self._busy)
+        for slot, indices in self._slot_entries.items():
+            seen = set()
+            for i in indices:
+                entry = self._entries[i]
+                nodes = {entry.request.sender, entry.request.receiver}
+                assert not (nodes & seen), (
+                    f"transmission conflict in slot {slot}")
+                seen |= nodes
+                busy_check[entry.request.sender, slot] = True
+                busy_check[entry.request.receiver, slot] = True
+        assert np.array_equal(busy_check, self._busy), "busy matrix mismatch"

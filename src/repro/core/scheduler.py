@@ -1,0 +1,192 @@
+"""Fixed-priority transmission scheduling engine (paper Sections III-B, V).
+
+The engine walks flows in priority order (the FlowSet's order — apply
+Deadline Monotonic first), expands each release instance into transmission
+requests, and delegates every placement to a *placement policy*.  The
+three policies of the paper — NR, RA, RC — differ only in how they pick a
+(slot, channel offset) cell; the surrounding machinery (priority order,
+precedence, deadline checks, timing) is shared here.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.constraints import NO_REUSE, feasible_offsets
+from repro.core.schedule import Schedule
+from repro.core.transmissions import (
+    ATTEMPTS_PER_LINK,
+    TransmissionRequest,
+    expand_instance,
+)
+from repro.flows.flow import Flow, FlowSet
+from repro.network.graphs import ChannelReuseGraph
+
+#: Offset selection rules understood by :func:`find_slot`.
+OFFSET_FIRST = "first"
+OFFSET_LEAST_LOADED = "least_loaded"
+
+
+def find_slot(schedule: Schedule, reuse_graph: ChannelReuseGraph,
+              request: TransmissionRequest, rho: float,
+              earliest: int, offset_rule: str = OFFSET_FIRST,
+              ) -> Optional[Tuple[int, int]]:
+    """The paper's ``findSlot()``: earliest feasible (slot, offset).
+
+    Scans slots from ``earliest`` to the request's deadline, skipping
+    slots with transmission conflicts, and returns the first slot holding
+    a channel offset that satisfies the channel constraint at reuse hop
+    count ``rho``.
+
+    Args:
+        schedule: Partial schedule.
+        reuse_graph: Channel reuse graph (hop distances).
+        request: The transmission to place.
+        rho: Reuse hop count; ``math.inf`` forbids reuse.
+        earliest: First admissible slot (release / precedence bound).
+        offset_rule: ``"first"`` picks the lowest feasible offset (RA);
+            ``"least_loaded"`` picks the feasible offset with the fewest
+            scheduled transmissions, lowest index on ties (RC — reduces
+            per-channel contention, paper Section V-C).
+
+    Returns:
+        ``(slot, offset)`` or None if nothing fits by the deadline.
+    """
+    deadline = request.deadline_slot
+    if earliest > deadline:
+        return None
+
+    conflict = schedule.conflict_mask(
+        request.sender, request.receiver, earliest, deadline)
+    if rho == NO_REUSE:
+        # Fast path: feasible slots need a completely free offset.
+        candidates = ~conflict & schedule.free_offset_slots(earliest, deadline)
+        indices = np.flatnonzero(candidates)
+        if indices.size == 0:
+            return None
+        slot = earliest + int(indices[0])
+        free = schedule.free_offsets(slot)
+        return (slot, free[0])
+
+    for index in np.flatnonzero(~conflict):
+        slot = earliest + int(index)
+        offsets = feasible_offsets(
+            schedule, reuse_graph, request.sender, request.receiver,
+            slot, rho)
+        if not offsets:
+            continue
+        if offset_rule == OFFSET_FIRST:
+            return (slot, offsets[0])
+        if offset_rule == OFFSET_LEAST_LOADED:
+            best = min(offsets,
+                       key=lambda c: (schedule.cell_size(slot, c), c))
+            return (slot, best)
+        raise ValueError(f"unknown offset rule: {offset_rule}")
+    return None
+
+
+class PlacementPolicy(Protocol):
+    """Strategy deciding where each transmission request goes."""
+
+    #: Human-readable policy name ("NR", "RA", "RC", ...).
+    name: str
+
+    def start_flow(self, flow: Flow) -> None:
+        """Hook invoked when the engine starts a new flow."""
+
+    def place(self, schedule: Schedule, reuse_graph: ChannelReuseGraph,
+              request: TransmissionRequest, earliest: int,
+              remaining: Sequence[TransmissionRequest],
+              ) -> Optional[Tuple[int, int]]:
+        """Choose a (slot, offset) for the request, or None if impossible."""
+
+
+@dataclass
+class SchedulingResult:
+    """Outcome of scheduling one flow set.
+
+    Attributes:
+        schedulable: Whether every transmission of every instance made its
+            deadline.
+        schedule: The complete schedule when schedulable; the partial
+            schedule at the point of failure otherwise.
+        flow_set: The (priority-ordered, routed) input flows.
+        policy_name: Which placement policy produced this result.
+        failed_flow: Flow id of the first unschedulable flow, if any.
+        failed_instance: Release index where scheduling failed, if any.
+        elapsed_s: Wall-clock scheduling time in seconds.
+    """
+
+    schedulable: bool
+    schedule: Schedule
+    flow_set: FlowSet
+    policy_name: str
+    failed_flow: Optional[int] = None
+    failed_instance: Optional[int] = None
+    elapsed_s: float = 0.0
+
+
+class FixedPriorityScheduler:
+    """Schedules a routed, priority-ordered flow set with a policy.
+
+    Args:
+        num_nodes: Number of devices in the topology.
+        num_offsets: Number of channels used ``|M|``.
+        reuse_graph: Channel reuse graph of the topology.
+        policy: Placement policy (NR / RA / RC).
+        attempts_per_link: Cells reserved per link (2 = source routing).
+    """
+
+    def __init__(self, num_nodes: int, num_offsets: int,
+                 reuse_graph: ChannelReuseGraph, policy: PlacementPolicy,
+                 attempts_per_link: int = ATTEMPTS_PER_LINK):
+        if reuse_graph.num_nodes != num_nodes:
+            raise ValueError("reuse graph size does not match num_nodes")
+        self.num_nodes = num_nodes
+        self.num_offsets = num_offsets
+        self.reuse_graph = reuse_graph
+        self.policy = policy
+        self.attempts_per_link = attempts_per_link
+
+    def run(self, flow_set: FlowSet) -> SchedulingResult:
+        """Schedule every instance of every flow within the hyperperiod.
+
+        The flow set must already be routed and in priority order (highest
+        first).  Scheduling stops at the first transmission that cannot
+        meet its deadline; the flow set is then unschedulable.
+        """
+        if not flow_set.all_routed():
+            raise ValueError("all flows must be routed before scheduling")
+        start_time = time.perf_counter()
+        hyperperiod = flow_set.hyperperiod()
+        schedule = Schedule(self.num_nodes, hyperperiod, self.num_offsets)
+
+        for flow in flow_set:
+            self.policy.start_flow(flow)
+            for instance in flow.instances(hyperperiod):
+                requests = expand_instance(instance, self.attempts_per_link)
+                earliest = instance.release_slot
+                for position, request in enumerate(requests):
+                    placement = self.policy.place(
+                        schedule, self.reuse_graph, request, earliest,
+                        requests[position + 1:])
+                    if placement is None:
+                        return SchedulingResult(
+                            schedulable=False, schedule=schedule,
+                            flow_set=flow_set, policy_name=self.policy.name,
+                            failed_flow=flow.flow_id,
+                            failed_instance=instance.instance,
+                            elapsed_s=time.perf_counter() - start_time)
+                    slot, offset = placement
+                    schedule.add(request, slot, offset)
+                    earliest = slot + 1
+
+        return SchedulingResult(
+            schedulable=True, schedule=schedule, flow_set=flow_set,
+            policy_name=self.policy.name,
+            elapsed_s=time.perf_counter() - start_time)

@@ -1,0 +1,39 @@
+"""Reliability-degradation detection: health epochs, K-S test, classifier."""
+
+from repro.detection.classifier import (
+    DetectionConfig,
+    LinkDiagnosis,
+    Verdict,
+    diagnose_epoch,
+    diagnose_link,
+    rejected_links_per_epoch,
+)
+from repro.detection.health import (
+    EpochReport,
+    LinkEpochReport,
+    SAMPLES_PER_EPOCH,
+    build_epoch_reports,
+)
+from repro.detection.kstest import (
+    KsResult,
+    kolmogorov_survival,
+    ks_2samp,
+    ks_statistic,
+)
+
+__all__ = [
+    "DetectionConfig",
+    "EpochReport",
+    "KsResult",
+    "LinkDiagnosis",
+    "LinkEpochReport",
+    "SAMPLES_PER_EPOCH",
+    "Verdict",
+    "build_epoch_reports",
+    "diagnose_epoch",
+    "diagnose_link",
+    "kolmogorov_survival",
+    "ks_2samp",
+    "ks_statistic",
+    "rejected_links_per_epoch",
+]

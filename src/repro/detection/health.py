@@ -1,0 +1,99 @@
+"""Health-report epochs: the data the network manager sees.
+
+WirelessHART nodes deliver a health report to the network manager every
+15 minutes (one *epoch*).  Within an epoch the manager accumulates, for
+every link involved in channel reuse, a distribution of PRR samples in
+reuse slots and another in contention-free slots (paper Section VI).
+With a 1 s top period the paper obtains 18 samples per epoch; we mirror
+that by grouping simulator repetitions into epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.simulator.stats import Link, SimulationStats
+
+#: PRR samples the paper collects per 15-minute epoch.
+SAMPLES_PER_EPOCH = 18
+
+
+@dataclass(frozen=True)
+class LinkEpochReport:
+    """One link's health data for one epoch.
+
+    Attributes:
+        link: The directed link.
+        epoch: Epoch index.
+        reuse_samples: Per-repetition PRRs in shared (reuse) cells.
+        contention_free_samples: Per-repetition PRRs in exclusive cells.
+        reuse_prr: Pooled PRR over the epoch's reuse-slot attempts
+            (``PRR_r`` in the paper), or None if the link never
+            transmitted in a shared cell this epoch.
+        contention_free_prr: Pooled contention-free PRR, or None.
+    """
+
+    link: Link
+    epoch: int
+    reuse_samples: Tuple[float, ...]
+    contention_free_samples: Tuple[float, ...]
+    reuse_prr: Optional[float]
+    contention_free_prr: Optional[float]
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """All link health data for one epoch."""
+
+    epoch: int
+    links: Dict[Link, LinkEpochReport]
+
+    def reuse_links(self) -> List[Link]:
+        """Links that transmitted in shared cells during this epoch."""
+        return sorted(link for link, report in self.links.items()
+                      if report.reuse_samples)
+
+
+def build_epoch_reports(stats: SimulationStats,
+                        repetitions_per_epoch: int = SAMPLES_PER_EPOCH,
+                        ) -> List[EpochReport]:
+    """Group simulation repetitions into health-report epochs.
+
+    Args:
+        stats: Simulation output.
+        repetitions_per_epoch: Schedule executions per epoch (18 matches
+            the paper's sampling density).
+
+    Returns:
+        One :class:`EpochReport` per complete epoch; a trailing partial
+        epoch is dropped.
+    """
+    if repetitions_per_epoch <= 0:
+        raise ValueError("repetitions_per_epoch must be positive")
+    num_epochs = len(stats.repetitions) // repetitions_per_epoch
+    links = stats.links_seen()
+    reports = []
+    for epoch in range(num_epochs):
+        window = (epoch * repetitions_per_epoch,
+                  (epoch + 1) * repetitions_per_epoch)
+        link_reports = {}
+        for link in links:
+            reuse_samples = tuple(
+                stats.link_prr_samples(link, shared_cell=True,
+                                       repetition_range=window))
+            cf_samples = tuple(
+                stats.link_prr_samples(link, shared_cell=False,
+                                       repetition_range=window))
+            link_reports[link] = LinkEpochReport(
+                link=link,
+                epoch=epoch,
+                reuse_samples=reuse_samples,
+                contention_free_samples=cf_samples,
+                reuse_prr=stats.overall_link_prr(
+                    link, shared_cell=True, repetition_range=window),
+                contention_free_prr=stats.overall_link_prr(
+                    link, shared_cell=False, repetition_range=window),
+            )
+        reports.append(EpochReport(epoch=epoch, links=link_reports))
+    return reports

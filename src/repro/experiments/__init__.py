@@ -1,0 +1,47 @@
+"""Per-figure experiment runners reproducing the paper's evaluation."""
+
+from repro.experiments.common import (
+    POLICY_NAMES,
+    PreparedNetwork,
+    build_workload,
+    make_policy,
+    prepare_network,
+    schedule_workload,
+)
+from repro.experiments.detection_exp import (
+    DetectionOutcome,
+    build_detection_flow_set,
+    run_detection,
+)
+from repro.experiments.reliability import (
+    DEFAULT_FLOW_MIX,
+    RELIABILITY_CHANNELS,
+    ReliabilityOutcome,
+    build_reliability_flow_set,
+    run_reliability,
+)
+from repro.experiments.schedulability import (
+    SweepResult,
+    TrialOutcome,
+    run_sweep,
+)
+
+__all__ = [
+    "DEFAULT_FLOW_MIX",
+    "DetectionOutcome",
+    "POLICY_NAMES",
+    "PreparedNetwork",
+    "RELIABILITY_CHANNELS",
+    "ReliabilityOutcome",
+    "SweepResult",
+    "TrialOutcome",
+    "build_detection_flow_set",
+    "build_reliability_flow_set",
+    "build_workload",
+    "make_policy",
+    "prepare_network",
+    "run_detection",
+    "run_reliability",
+    "run_sweep",
+    "schedule_workload",
+]

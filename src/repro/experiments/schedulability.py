@@ -1,0 +1,182 @@
+"""Schedulable-ratio sweeps (paper Figures 1, 2, 3) and timing (Figure 6).
+
+A sweep varies either the number of channels or the number of flows,
+generates ``num_flow_sets`` random workloads per point, schedules each
+with NR, RA, and RC, and reports the fraction of schedulable flow sets
+per policy, plus the reuse statistics (Figures 4, 5) and execution times
+(Figure 6) harvested from the same runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    reuse_hop_distribution,
+    tx_per_cell_distribution,
+)
+from repro.core.ra import DEFAULT_RHO_T
+from repro.experiments.common import (
+    POLICY_NAMES,
+    PreparedNetwork,
+    build_workload,
+    prepare_network,
+    schedule_workload,
+)
+from repro.flows.generator import PeriodRange
+from repro.network.topology import Topology
+from repro.routing.shortest_path import NoRouteError
+from repro.routing.traffic import TrafficType
+
+
+@dataclass
+class TrialOutcome:
+    """One (sweep point, flow set, policy) scheduling run.
+
+    Histograms are only populated for schedulable runs (the paper's reuse
+    statistics come from complete schedules).
+    """
+
+    x: int
+    set_index: int
+    policy: str
+    schedulable: bool
+    elapsed_s: float
+    tx_hist: Dict[int, int] = field(default_factory=dict)
+    hop_hist: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """All trial outcomes of one sweep, with aggregation helpers."""
+
+    vary: str
+    values: List[int]
+    policies: Tuple[str, ...]
+    outcomes: List[TrialOutcome]
+
+    def schedulable_ratios(self) -> Dict[str, Dict[int, float]]:
+        """``{policy: {x: fraction of schedulable flow sets}}``."""
+        totals: Dict[Tuple[str, int], int] = defaultdict(int)
+        successes: Dict[Tuple[str, int], int] = defaultdict(int)
+        for outcome in self.outcomes:
+            key = (outcome.policy, outcome.x)
+            totals[key] += 1
+            if outcome.schedulable:
+                successes[key] += 1
+        ratios: Dict[str, Dict[int, float]] = {p: {} for p in self.policies}
+        for (policy, x), total in totals.items():
+            ratios[policy][x] = successes[(policy, x)] / total
+        return ratios
+
+    def mean_times_ms(self) -> Dict[str, Dict[int, float]]:
+        """Mean scheduler execution time in milliseconds per point."""
+        sums: Dict[Tuple[str, int], float] = defaultdict(float)
+        counts: Dict[Tuple[str, int], int] = defaultdict(int)
+        for outcome in self.outcomes:
+            key = (outcome.policy, outcome.x)
+            sums[key] += outcome.elapsed_s
+            counts[key] += 1
+        times: Dict[str, Dict[int, float]] = {p: {} for p in self.policies}
+        for (policy, x), total in sums.items():
+            times[policy][x] = 1000.0 * total / counts[(policy, x)]
+        return times
+
+    def tx_per_cell_fractions(self, policy: str,
+                              x: Optional[int] = None) -> Dict[int, float]:
+        """Pooled Tx/channel histogram (fractions) for a policy (Fig. 4)."""
+        total: Counter = Counter()
+        for outcome in self.outcomes:
+            if outcome.policy != policy:
+                continue
+            if x is not None and outcome.x != x:
+                continue
+            total.update(outcome.tx_hist)
+        count = sum(total.values())
+        if count == 0:
+            return {}
+        return {k: v / count for k, v in sorted(total.items())}
+
+    def reuse_hop_fractions(self, policy: str,
+                            x: Optional[int] = None) -> Dict[int, float]:
+        """Pooled reuse hop-count histogram (fractions) (Fig. 5)."""
+        total: Counter = Counter()
+        for outcome in self.outcomes:
+            if outcome.policy != policy:
+                continue
+            if x is not None and outcome.x != x:
+                continue
+            total.update(outcome.hop_hist)
+        count = sum(total.values())
+        if count == 0:
+            return {}
+        return {k: v / count for k, v in sorted(total.items())}
+
+
+def run_sweep(topology: Topology, traffic: TrafficType, vary: str,
+              values: Sequence[int], *, fixed_channels: int = 5,
+              fixed_flows: int = 30,
+              period_range: PeriodRange = PeriodRange(0, 4),
+              num_flow_sets: int = 100, seed: int = 0,
+              policies: Sequence[str] = POLICY_NAMES,
+              rho_t: int = DEFAULT_RHO_T,
+              collect_histograms: bool = True) -> SweepResult:
+    """Run one schedulable-ratio sweep.
+
+    Args:
+        topology: Full testbed topology (all 16 channels).
+        traffic: Centralized or peer-to-peer routing.
+        vary: ``"channels"`` or ``"flows"`` — the swept dimension.
+        values: Sweep points (channel counts or flow counts).
+        fixed_channels: Channel count when varying flows.
+        fixed_flows: Flow count when varying channels.
+        period_range: Harmonic period range of the workloads.
+        num_flow_sets: Random flow sets per sweep point (100 in paper).
+        seed: Base seed; flow set k at every sweep point uses seed+k so
+            points are compared on matched workload randomness.
+        policies: Which schedulers to run.
+        rho_t: Reuse hop-count floor for RA and RC.
+        collect_histograms: Harvest Tx/channel and reuse-hop histograms
+            from schedulable runs (Figures 4-5).
+
+    Returns:
+        A :class:`SweepResult`.
+    """
+    if vary not in ("channels", "flows"):
+        raise ValueError("vary must be 'channels' or 'flows'")
+
+    outcomes: List[TrialOutcome] = []
+    for x in values:
+        num_channels = x if vary == "channels" else fixed_channels
+        num_flows = x if vary == "flows" else fixed_flows
+        network = prepare_network(topology, num_channels=num_channels)
+        for set_index in range(num_flow_sets):
+            rng = np.random.default_rng(seed + set_index)
+            try:
+                flow_set = build_workload(network, num_flows, period_range,
+                                          traffic, rng)
+            except NoRouteError:
+                # The restricted graph cannot carry this workload at all;
+                # count it against every policy equally.
+                for policy in policies:
+                    outcomes.append(TrialOutcome(
+                        x=x, set_index=set_index, policy=policy,
+                        schedulable=False, elapsed_s=0.0))
+                continue
+            for policy in policies:
+                result = schedule_workload(network, flow_set, policy, rho_t)
+                outcome = TrialOutcome(
+                    x=x, set_index=set_index, policy=policy,
+                    schedulable=result.schedulable,
+                    elapsed_s=result.elapsed_s)
+                if result.schedulable and collect_histograms:
+                    outcome.tx_hist = tx_per_cell_distribution(result.schedule)
+                    outcome.hop_hist = reuse_hop_distribution(
+                        result.schedule, network.reuse)
+                outcomes.append(outcome)
+    return SweepResult(vary=vary, values=list(values),
+                       policies=tuple(policies), outcomes=outcomes)

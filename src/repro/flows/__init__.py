@@ -1,0 +1,19 @@
+"""Flow model and workload generation."""
+
+from repro.flows.flow import Flow, FlowInstance, FlowSet
+from repro.flows.generator import (
+    PeriodRange,
+    generate_fixed_period_flow_set,
+    generate_flow_set,
+    pick_access_points,
+)
+
+__all__ = [
+    "Flow",
+    "FlowInstance",
+    "FlowSet",
+    "PeriodRange",
+    "generate_fixed_period_flow_set",
+    "generate_flow_set",
+    "pick_access_points",
+]

@@ -1,0 +1,53 @@
+"""TSCH MAC-layer primitives: channels, hopping, slot timing."""
+
+from repro.mac.channels import (
+    Blacklist,
+    ChannelMap,
+    MAX_CHANNEL,
+    MIN_CHANNEL,
+    NUM_CHANNELS_24GHZ,
+    channel_center_frequency_mhz,
+    channels_overlapping_wifi,
+    wifi_center_frequency_mhz,
+)
+from repro.mac.superframe import (
+    DeviceSlot,
+    DeviceTable,
+    SlotAction,
+    Superframe,
+    build_superframe,
+)
+from repro.mac.tsch import (
+    HoppingSequence,
+    SLOT_DURATION_MS,
+    SLOT_DURATION_S,
+    SLOTS_PER_SECOND,
+    SlotTiming,
+    hop_channel,
+    seconds_to_slots,
+    slots_to_seconds,
+)
+
+__all__ = [
+    "Blacklist",
+    "ChannelMap",
+    "DeviceSlot",
+    "DeviceTable",
+    "SlotAction",
+    "Superframe",
+    "build_superframe",
+    "HoppingSequence",
+    "MAX_CHANNEL",
+    "MIN_CHANNEL",
+    "NUM_CHANNELS_24GHZ",
+    "SLOT_DURATION_MS",
+    "SLOT_DURATION_S",
+    "SLOTS_PER_SECOND",
+    "SlotTiming",
+    "channel_center_frequency_mhz",
+    "channels_overlapping_wifi",
+    "hop_channel",
+    "seconds_to_slots",
+    "slots_to_seconds",
+    "wifi_center_frequency_mhz",
+]

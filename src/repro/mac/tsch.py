@@ -1,0 +1,131 @@
+"""Time Slotted Channel Hopping (TSCH) primitives.
+
+TSCH (IEEE 802.15.4e) divides time into fixed-length slots — 10 ms in
+WirelessHART — each wide enough for one data transmission and its
+acknowledgement.  Every (slot, channel-offset) cell in the schedule maps to
+a physical channel through the hopping formula
+
+    logicalChannel = (ASN + channelOffset) mod |M|
+
+where ASN is the Absolute Slot Number since network start and M the set of
+channels in use.  Because ASN advances every slot, a given channel offset
+cycles through every physical channel, which is why link-quality
+requirements in the paper are stated over *all* channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.mac.channels import ChannelMap
+
+#: WirelessHART slot duration in milliseconds.
+SLOT_DURATION_MS = 10.0
+
+#: WirelessHART slot duration in seconds.
+SLOT_DURATION_S = SLOT_DURATION_MS / 1000.0
+
+#: Number of time slots per second.
+SLOTS_PER_SECOND = int(round(1.0 / SLOT_DURATION_S))
+
+
+def seconds_to_slots(seconds: float) -> int:
+    """Convert a duration in seconds to a whole number of 10 ms slots.
+
+    Raises:
+        ValueError: If the duration is not a positive integral number of
+            slots (WirelessHART periods are configured in slot multiples).
+    """
+    slots = seconds * SLOTS_PER_SECOND
+    rounded = int(round(slots))
+    if rounded <= 0 or abs(slots - rounded) > 1e-9:
+        raise ValueError(
+            f"{seconds} s is not a positive whole number of {SLOT_DURATION_MS} ms slots")
+    return rounded
+
+
+def slots_to_seconds(slots: int) -> float:
+    """Convert a slot count to seconds."""
+    return slots * SLOT_DURATION_S
+
+
+def hop_channel(asn: int, channel_offset: int, num_channels: int) -> int:
+    """Compute the logical channel for a cell via the TSCH hopping formula.
+
+    Args:
+        asn: Absolute Slot Number (slots elapsed since network start).
+        channel_offset: The cell's channel offset, in ``[0, num_channels)``.
+        num_channels: Size of the channel map ``|M|``.
+
+    Returns:
+        The logical channel index in ``[0, num_channels)``.
+    """
+    if num_channels <= 0:
+        raise ValueError("num_channels must be positive")
+    if asn < 0:
+        raise ValueError("ASN must be non-negative")
+    if not 0 <= channel_offset < num_channels:
+        raise ValueError(
+            f"channel offset must be in [0, {num_channels - 1}], got {channel_offset}")
+    return (asn + channel_offset) % num_channels
+
+
+@dataclass(frozen=True)
+class HoppingSequence:
+    """Resolves (ASN, channel offset) cells to physical channels.
+
+    Combines the TSCH hopping formula with a shared
+    :class:`~repro.mac.channels.ChannelMap`, exactly as each WirelessHART
+    field device does at run time.
+    """
+
+    channel_map: ChannelMap
+
+    @property
+    def num_channels(self) -> int:
+        """Number of channels the network hops over."""
+        return len(self.channel_map)
+
+    def logical_channel(self, asn: int, channel_offset: int) -> int:
+        """Return the logical channel for a cell."""
+        return hop_channel(asn, channel_offset, self.num_channels)
+
+    def physical_channel(self, asn: int, channel_offset: int) -> int:
+        """Return the physical 802.15.4 channel for a cell."""
+        return self.channel_map.physical(self.logical_channel(asn, channel_offset))
+
+    def channels_visited(self, channel_offset: int, num_slots: int,
+                         start_asn: int = 0) -> List[int]:
+        """List the physical channels a cell visits over ``num_slots`` slots.
+
+        Useful for verifying that every offset cycles through the full
+        channel map (the property that forces the paper's "reliable on all
+        channels" link admission rule).
+        """
+        return [self.physical_channel(asn, channel_offset)
+                for asn in range(start_asn, start_asn + num_slots)]
+
+
+@dataclass(frozen=True)
+class SlotTiming:
+    """Intra-slot timing template (simplified WirelessHART timeslot).
+
+    All durations are in microseconds and sum to at most the 10 ms slot.
+    The defaults follow the IEEE 802.15.4e TSCH timeslot template closely
+    enough for simulation purposes.
+    """
+
+    tx_offset_us: float = 2120.0      #: sender waits before transmitting
+    max_packet_us: float = 4256.0     #: 133-byte frame at 250 kbps
+    rx_ack_delay_us: float = 800.0    #: turnaround before the ACK
+    ack_duration_us: float = 1000.0   #: ACK frame airtime
+
+    def total_us(self) -> float:
+        """Total busy time inside the slot."""
+        return (self.tx_offset_us + self.max_packet_us
+                + self.rx_ack_delay_us + self.ack_duration_us)
+
+    def fits_slot(self) -> bool:
+        """Whether the template fits within one 10 ms slot."""
+        return self.total_us() <= SLOT_DURATION_MS * 1000.0

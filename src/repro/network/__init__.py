@@ -1,0 +1,28 @@
+"""Network model: devices, topology (PRR matrices), derived graphs."""
+
+from repro.network.node import NeighborEntry, Node, NodeRole, Position
+from repro.network.graphs import (
+    ChannelReuseGraph,
+    CommunicationGraph,
+    UNREACHABLE,
+    all_pairs_hops,
+    bfs_hops_from,
+    communication_adjacency,
+    reuse_adjacency,
+)
+from repro.network.topology import Topology
+
+__all__ = [
+    "ChannelReuseGraph",
+    "CommunicationGraph",
+    "NeighborEntry",
+    "Node",
+    "NodeRole",
+    "Position",
+    "Topology",
+    "UNREACHABLE",
+    "all_pairs_hops",
+    "bfs_hops_from",
+    "communication_adjacency",
+    "reuse_adjacency",
+]

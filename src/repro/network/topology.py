@@ -1,0 +1,182 @@
+"""Topology: devices plus measured per-channel link qualities.
+
+The WirelessHART network manager maintains, for every directed link and
+every channel in use, a Packet Reception Ratio (PRR) — the fraction of
+transmission attempts that were acknowledged.  This module stores that
+information densely as a numpy array of shape ``(n, n, |M|)`` so that graph
+construction (:mod:`repro.network.graphs`) and the testbed generators
+(:mod:`repro.testbeds`) can operate on it efficiently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mac.channels import ChannelMap
+from repro.network.node import Node, NodeRole
+
+
+@dataclass
+class Topology:
+    """A set of nodes and their per-channel directed PRR measurements.
+
+    Attributes:
+        nodes: All devices, where ``nodes[i].node_id == i`` (dense ids).
+        channel_map: The physical channels the PRR matrix covers, in
+            logical order.
+        prr: Array of shape ``(n, n, len(channel_map))``; ``prr[u, v, c]``
+            is the PRR of directed link u→v on the c-th channel of the map.
+        name: Optional label (e.g. ``"indriya"``).
+    """
+
+    nodes: List[Node]
+    channel_map: ChannelMap
+    prr: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        n = len(self.nodes)
+        expected = (n, n, len(self.channel_map))
+        if self.prr.shape != expected:
+            raise ValueError(
+                f"prr has shape {self.prr.shape}, expected {expected}")
+        for index, node in enumerate(self.nodes):
+            if node.node_id != index:
+                raise ValueError(
+                    f"nodes must have dense ids: nodes[{index}].node_id "
+                    f"== {node.node_id}")
+        if np.any((self.prr < 0.0) | (self.prr > 1.0)):
+            raise ValueError("PRR values must lie in [0, 1]")
+        diagonal = self.prr[np.arange(n), np.arange(n), :]
+        if np.any(diagonal != 0.0):
+            raise ValueError("self-links must have zero PRR")
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of devices in the topology."""
+        return len(self.nodes)
+
+    @property
+    def num_channels(self) -> int:
+        """Number of channels the PRR matrix covers."""
+        return len(self.channel_map)
+
+    def node(self, node_id: int) -> Node:
+        """Return the node with the given id."""
+        return self.nodes[node_id]
+
+    def access_points(self) -> List[int]:
+        """Return the ids of all access-point nodes."""
+        return [n.node_id for n in self.nodes if n.role is NodeRole.ACCESS_POINT]
+
+    def field_devices(self) -> List[int]:
+        """Return the ids of all field devices."""
+        return [n.node_id for n in self.nodes if n.role is NodeRole.FIELD_DEVICE]
+
+    def positions(self) -> Optional[np.ndarray]:
+        """Return an ``(n, 3)`` position array, or None if any is missing."""
+        if any(n.position is None for n in self.nodes):
+            return None
+        return np.array([n.position.as_tuple() for n in self.nodes])
+
+    # ------------------------------------------------------------------
+    # PRR accessors
+    # ------------------------------------------------------------------
+
+    def link_prr(self, u: int, v: int, physical_channel: int) -> float:
+        """PRR of directed link u→v on a physical channel."""
+        return float(self.prr[u, v, self.channel_map.logical(physical_channel)])
+
+    def link_prr_all_channels(self, u: int, v: int) -> np.ndarray:
+        """PRR of directed link u→v across all channels (logical order)."""
+        return self.prr[u, v, :].copy()
+
+    def min_prr(self, u: int, v: int) -> float:
+        """Minimum PRR of directed link u→v over all channels."""
+        return float(self.prr[u, v, :].min())
+
+    def max_prr(self, u: int, v: int) -> float:
+        """Maximum PRR of directed link u→v over all channels."""
+        return float(self.prr[u, v, :].max())
+
+    def mean_prr(self, u: int, v: int) -> float:
+        """Mean PRR of directed link u→v over all channels."""
+        return float(self.prr[u, v, :].mean())
+
+    # ------------------------------------------------------------------
+    # Channel restriction
+    # ------------------------------------------------------------------
+
+    def restrict_channels(self, channels: Sequence[int]) -> "Topology":
+        """Return a copy of the topology restricted to the given channels.
+
+        Args:
+            channels: Physical channel numbers; must all be present in the
+                current channel map.  Order defines the new logical order.
+        """
+        indices = [self.channel_map.logical(ch) for ch in channels]
+        return Topology(
+            nodes=list(self.nodes),
+            channel_map=ChannelMap(tuple(channels)),
+            prr=self.prr[:, :, indices].copy(),
+            name=self.name,
+        )
+
+    def with_access_points(self, access_point_ids: Iterable[int]) -> "Topology":
+        """Return a copy with the given nodes promoted to access points.
+
+        All other nodes become plain field devices.  Flow-set generation in
+        the paper designates the two highest-degree nodes of each flow set
+        as access points.
+        """
+        ap_set = set(access_point_ids)
+        unknown = ap_set - set(range(self.num_nodes))
+        if unknown:
+            raise ValueError(f"unknown node ids for access points: {sorted(unknown)}")
+        new_nodes = []
+        for node in self.nodes:
+            role = (NodeRole.ACCESS_POINT if node.node_id in ap_set
+                    else NodeRole.FIELD_DEVICE)
+            new_nodes.append(Node(node.node_id, role, node.position, node.name))
+        return Topology(new_nodes, self.channel_map, self.prr, self.name)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def degree(self, node_id: int, prr_threshold: float) -> int:
+        """Number of neighbors reachable bidirectionally at the threshold.
+
+        A neighbor counts if PRR ≥ threshold in both directions on *all*
+        channels, mirroring the communication-graph admission rule.
+        """
+        forward_ok = np.all(self.prr[node_id, :, :] >= prr_threshold, axis=1)
+        backward_ok = np.all(self.prr[:, node_id, :] >= prr_threshold, axis=1)
+        both = forward_ok & backward_ok
+        both[node_id] = False
+        return int(both.sum())
+
+    def degrees(self, prr_threshold: float) -> np.ndarray:
+        """Vector of communication-graph degrees for every node."""
+        return np.array([self.degree(i, prr_threshold)
+                         for i in range(self.num_nodes)])
+
+    def summary(self, prr_threshold: float = 0.9) -> Dict[str, float]:
+        """Return headline statistics about the topology."""
+        degs = self.degrees(prr_threshold)
+        nonzero = self.prr[self.prr > 0.0]
+        return {
+            "num_nodes": float(self.num_nodes),
+            "num_channels": float(self.num_channels),
+            "mean_degree": float(degs.mean()),
+            "max_degree": float(degs.max()),
+            "min_degree": float(degs.min()),
+            "mean_nonzero_prr": float(nonzero.mean()) if nonzero.size else 0.0,
+        }

@@ -1,0 +1,25 @@
+"""Routing: shortest paths and traffic patterns."""
+
+from repro.routing.shortest_path import (
+    NoRouteError,
+    path_length,
+    shortest_path,
+    shortest_path_tree,
+)
+from repro.routing.traffic import (
+    TrafficType,
+    assign_routes,
+    route_centralized,
+    route_peer_to_peer,
+)
+
+__all__ = [
+    "NoRouteError",
+    "TrafficType",
+    "assign_routes",
+    "path_length",
+    "route_centralized",
+    "route_peer_to_peer",
+    "shortest_path",
+    "shortest_path_tree",
+]

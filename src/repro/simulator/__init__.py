@@ -1,0 +1,36 @@
+"""Slot-driven TSCH network simulator with SINR-based reception."""
+
+from repro.simulator.engine import SimulationConfig, TschSimulator
+from repro.simulator.interference import (
+    WIFI_INBAND_FRACTION_DB,
+    WifiInterferer,
+    interferer_rssi_matrix,
+    place_interferer_pairs,
+)
+from repro.simulator.radio import (
+    PrrLookup,
+    ReceptionDecision,
+    decide_reception,
+    sinr_at_receiver,
+)
+from repro.simulator.stats import (
+    AttemptCounter,
+    RepetitionRecord,
+    SimulationStats,
+)
+
+__all__ = [
+    "AttemptCounter",
+    "PrrLookup",
+    "ReceptionDecision",
+    "RepetitionRecord",
+    "SimulationConfig",
+    "SimulationStats",
+    "TschSimulator",
+    "WIFI_INBAND_FRACTION_DB",
+    "WifiInterferer",
+    "decide_reception",
+    "interferer_rssi_matrix",
+    "place_interferer_pairs",
+    "sinr_at_receiver",
+]

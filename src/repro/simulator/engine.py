@@ -1,0 +1,257 @@
+"""Slot-driven discrete-event execution of a TSCH schedule.
+
+The simulator replays a computed schedule against the ground-truth RF
+environment of a synthetic testbed:
+
+* Channel hopping is applied per slot (``logical = (ASN + offset) mod M``),
+  so a cell visits different physical channels in different repetitions.
+* A scheduled transmission is *active* only when its packet is actually
+  waiting at the sender — if the primary attempt on a hop succeeded, the
+  reserved retransmission cell stays silent (source routing semantics).
+* Reception is SINR-based: concurrent same-channel transmitters and any
+  active WiFi interferers add power at the receiver, and the
+  802.15.4 PRR curve (capture effect included) decides success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.flows.flow import FlowSet
+from repro.mac.channels import ChannelMap
+from repro.simulator.interference import WifiInterferer
+from repro.propagation.prr_model import get_prr_curve
+from repro.simulator.radio import sinr_at_receiver
+from repro.simulator.stats import SimulationStats
+from repro.testbeds.synth import RadioEnvironment
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs for schedule execution.
+
+    Attributes:
+        seed: Seed for all stochastic draws (fading, reception, interferer
+            activity).
+        fast_fading_sigma_db: Per-attempt multipath fading applied to
+            every signal and interference power.
+        slow_fading_sigma_db: Per-repetition, per-node-pair gain drift —
+            links drift between the topology-collection phase and run
+            time, over timescales longer than one hyperperiod.
+        frame_bytes: Frame size for the PRR lookup (defaults to the
+            environment's).
+
+    Consistency contract: the testbed's *measured* PRRs are expectations
+    of the raw 802.15.4 curve over fading
+    (:class:`repro.propagation.prr_model.PrrCurve` smoothing), so the
+    environment's ``grey_sigma_db`` should equal
+    ``sqrt(fast² + slow²)`` of the simulation config.  The defaults
+    (3.0, 2.0 → 3.6) are matched to
+    :class:`repro.testbeds.synth.SynthesisParams`.  Under that contract a
+    link simulated in clean air converges to its measured PRR.
+    """
+
+    seed: int = 0
+    fast_fading_sigma_db: float = 3.0
+    slow_fading_sigma_db: float = 2.0
+    frame_bytes: Optional[int] = None
+
+    def total_fading_sigma_db(self) -> float:
+        """Aggregate long-run fading spread (for the consistency contract)."""
+        return float(np.hypot(self.fast_fading_sigma_db,
+                              self.slow_fading_sigma_db))
+
+
+@dataclass(frozen=True)
+class _CompiledEntry:
+    """A scheduled transmission, pre-resolved for the hot loop."""
+
+    sender: int
+    receiver: int
+    offset: int
+    flow_id: int
+    instance: int
+    hop_index: int
+    shared_cell: bool
+
+
+class TschSimulator:
+    """Executes a schedule repeatedly and collects delivery statistics.
+
+    Args:
+        schedule: The computed transmission schedule.
+        flow_set: The routed flows the schedule serves.
+        environment: Ground-truth RF environment of the testbed.
+        channel_map: The channels the network actually hops over (the
+            restricted map used when building the schedule, e.g. channels
+            11-14 for the reliability experiments).
+        interferers: Optional external WiFi interferers.
+        interferer_rssi_dbm: ``(num_interferers, num_nodes)`` received
+            in-band power of each interferer at each node; required when
+            ``interferers`` is non-empty (see
+            :func:`repro.simulator.interference.interferer_rssi_matrix`).
+        config: Execution parameters.
+    """
+
+    def __init__(self, schedule: Schedule, flow_set: FlowSet,
+                 environment: RadioEnvironment, channel_map: ChannelMap,
+                 interferers: Sequence[WifiInterferer] = (),
+                 interferer_rssi_dbm: Optional[np.ndarray] = None,
+                 config: SimulationConfig = SimulationConfig()):
+        if interferers and interferer_rssi_dbm is None:
+            raise ValueError(
+                "interferer_rssi_dbm is required when interferers are given")
+        if interferer_rssi_dbm is not None and interferers:
+            expected = (len(interferers), environment.num_nodes)
+            if interferer_rssi_dbm.shape != expected:
+                raise ValueError(
+                    f"interferer_rssi_dbm has shape "
+                    f"{interferer_rssi_dbm.shape}, expected {expected}")
+
+        self.schedule = schedule
+        self.flow_set = flow_set
+        self.environment = environment
+        self.channel_map = channel_map
+        self.interferers = list(interferers)
+        self.interferer_rssi_dbm = interferer_rssi_dbm
+        self.config = config
+
+        self._hyperperiod = flow_set.hyperperiod()
+        self._num_offsets = schedule.num_offsets
+        self._flow_hops = {f.flow_id: f.num_hops for f in flow_set}
+        self._instances_per_flow = {
+            f.flow_id: self._hyperperiod // f.period_slots for f in flow_set}
+        # The raw (unsmoothed) curve: fading is drawn explicitly per
+        # attempt, so the smoothed "measured" curve emerges in expectation.
+        frame_bytes = config.frame_bytes or environment.frame_bytes
+        self._lookup = get_prr_curve(frame_bytes, 0.0)
+
+        # Physical channel -> index into the environment's RSSI tensor.
+        env_index = environment.channel_map.index_map()
+        self._env_channel_index = {
+            ch: env_index[ch] for ch in channel_map}
+
+        # Which 802.15.4 channels each interferer pollutes.
+        self._interferer_channels = [set(i.affected_channels())
+                                     for i in self.interferers]
+
+        self._compiled = self._compile()
+
+    def _compile(self) -> Dict[int, List[_CompiledEntry]]:
+        """Pre-resolve schedule entries per slot for the hot loop."""
+        compiled: Dict[int, List[_CompiledEntry]] = {}
+        shared_cells = {(s, c) for s, c, txs in self.schedule.occupied_cells()
+                        if len(txs) > 1}
+        for slot, entries in self.schedule.entries_by_slot().items():
+            compiled[slot] = [
+                _CompiledEntry(
+                    sender=e.request.sender,
+                    receiver=e.request.receiver,
+                    offset=e.offset,
+                    flow_id=e.request.flow_id,
+                    instance=e.request.instance,
+                    hop_index=e.request.hop_index,
+                    shared_cell=(slot, e.offset) in shared_cells,
+                )
+                for e in entries
+            ]
+        return compiled
+
+    def run(self, repetitions: int = 100) -> SimulationStats:
+        """Execute the schedule ``repetitions`` times.
+
+        Each repetition replays one full hyperperiod with a fresh release
+        of every flow instance; the ASN keeps advancing across
+        repetitions, so channel hopping visits different physical channels
+        each time (as on the real network).
+        """
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        rng = np.random.default_rng(self.config.seed)
+        stats = SimulationStats()
+        sorted_slots = sorted(self._compiled)
+        num_logical = len(self.channel_map)
+        fading_sigma = self.config.fast_fading_sigma_db
+        rssi = self.environment.rssi_dbm
+        noise = self.environment.noise_floor_dbm
+
+        slow_sigma = self.config.slow_fading_sigma_db
+
+        for repetition in range(repetitions):
+            record = stats.start_repetition()
+            progress: Dict[Tuple[int, int], int] = {}
+            slow_fading: Dict[Tuple[int, int], float] = {}
+
+            def pair_drift(a: int, b: int) -> float:
+                """Per-repetition slow fading for an (unordered) node pair."""
+                if slow_sigma == 0.0:
+                    return 0.0
+                key = (a, b) if a < b else (b, a)
+                drift = slow_fading.get(key)
+                if drift is None:
+                    drift = float(rng.normal(0.0, slow_sigma))
+                    slow_fading[key] = drift
+                return drift
+
+            for flow_id, count in self._instances_per_flow.items():
+                stats.record_release(flow_id, count)
+
+            base_asn = repetition * self._hyperperiod
+            for slot in sorted_slots:
+                active = [
+                    entry for entry in self._compiled[slot]
+                    if progress.get((entry.flow_id, entry.instance), 0)
+                    == entry.hop_index
+                ]
+                if not active:
+                    continue
+                asn = base_asn + slot
+
+                by_channel: Dict[int, List[_CompiledEntry]] = {}
+                for entry in active:
+                    logical = (asn + entry.offset) % num_logical
+                    channel = self.channel_map.physical(logical)
+                    by_channel.setdefault(channel, []).append(entry)
+
+                active_interferers = [
+                    i for i, interferer in enumerate(self.interferers)
+                    if rng.random() < interferer.duty_cycle
+                ]
+
+                for channel, concurrent in by_channel.items():
+                    env_channel = self._env_channel_index[channel]
+                    for entry in concurrent:
+                        signal = (rssi[entry.sender, entry.receiver,
+                                       env_channel]
+                                  + pair_drift(entry.sender, entry.receiver)
+                                  + rng.normal(0.0, fading_sigma))
+                        interference = []
+                        for other in concurrent:
+                            if other is entry:
+                                continue
+                            interference.append(
+                                rssi[other.sender, entry.receiver,
+                                     env_channel]
+                                + pair_drift(other.sender, entry.receiver)
+                                + rng.normal(0.0, fading_sigma))
+                        for index in active_interferers:
+                            if channel in self._interferer_channels[index]:
+                                interference.append(
+                                    self.interferer_rssi_dbm[
+                                        index, entry.receiver]
+                                    + rng.normal(0.0, fading_sigma))
+
+                        sinr = sinr_at_receiver(signal, noise, interference)
+                        success = rng.random() < self._lookup(sinr)
+                        record.record((entry.sender, entry.receiver),
+                                      entry.shared_cell, success)
+                        if success:
+                            key = (entry.flow_id, entry.instance)
+                            progress[key] = entry.hop_index + 1
+                            if progress[key] == self._flow_hops[entry.flow_id]:
+                                stats.record_delivery(entry.flow_id)
+        return stats

@@ -1,0 +1,105 @@
+"""External interference sources for the simulator.
+
+The paper's detection experiments (Section VII-E) inject interference
+with three pairs of Raspberry Pis — one pair per testbed floor — sending
+1 Mbps UDP over WiFi channel 1, which overlaps 802.15.4 channels 11-14.
+We model each interferer as a duty-cycled wideband transmitter at a fixed
+position: in any slot where it is active, it adds its received power (at
+each WSAN receiver) to the interference term of the SINR on every
+overlapping 802.15.4 channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.mac.channels import channels_overlapping_wifi
+from repro.network.node import Position
+from repro.propagation.pathloss import LogDistancePathLoss
+from repro.testbeds.layout import FloorPlan
+
+#: Fraction of a 22 MHz WiFi signal's power falling inside one 2 MHz
+#: 802.15.4 channel, in dB (10 * log10(2 / 22)).
+WIFI_INBAND_FRACTION_DB = -10.4
+
+
+@dataclass(frozen=True)
+class WifiInterferer:
+    """A WiFi interferer at a fixed position.
+
+    Attributes:
+        position: Transmitter location.
+        wifi_channel: 2.4 GHz WiFi channel (1-13).
+        tx_power_dbm: Radiated power (typical consumer device ≈ 15 dBm).
+        duty_cycle: Probability the interferer transmits during any given
+            10 ms slot.  1 Mbps UDP over a ~20 Mbps link plus protocol
+            bursts is modeled as a moderate duty cycle.
+    """
+
+    position: Position
+    wifi_channel: int = 1
+    tx_power_dbm: float = 15.0
+    duty_cycle: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be in [0, 1]")
+
+    def affected_channels(self) -> List[int]:
+        """802.15.4 channels whose band this interferer pollutes."""
+        return channels_overlapping_wifi(self.wifi_channel)
+
+    def inband_tx_power_dbm(self) -> float:
+        """Effective power landing inside one 802.15.4 channel."""
+        return self.tx_power_dbm + WIFI_INBAND_FRACTION_DB
+
+
+def place_interferer_pairs(plan: FloorPlan,
+                           wifi_channel: int = 1,
+                           tx_power_dbm: float = 15.0,
+                           duty_cycle: float = 0.4) -> List[WifiInterferer]:
+    """One interferer per floor, at the floor center (paper's setup).
+
+    The paper uses one Raspberry-Pi *pair* per floor; the interference a
+    WSAN node sees is dominated by the transmitting side, so each pair is
+    modeled as a single transmitter at the floor's center.
+    """
+    interferers = []
+    for floor in range(plan.num_floors):
+        position = Position(plan.floor_width_m / 2.0,
+                            plan.floor_depth_m / 2.0,
+                            floor * plan.floor_height_m)
+        interferers.append(WifiInterferer(
+            position=position, wifi_channel=wifi_channel,
+            tx_power_dbm=tx_power_dbm, duty_cycle=duty_cycle))
+    return interferers
+
+
+def interferer_rssi_matrix(interferers: Sequence[WifiInterferer],
+                           node_positions: np.ndarray,
+                           plan: FloorPlan,
+                           pathloss: LogDistancePathLoss,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Received in-band power of each interferer at each node, in dBm.
+
+    Shape ``(num_interferers, num_nodes)``.  Includes a static shadowing
+    draw per (interferer, node) pair.
+    """
+    num_interferers = len(interferers)
+    num_nodes = node_positions.shape[0]
+    rssi = np.empty((num_interferers, num_nodes))
+    for i, interferer in enumerate(interferers):
+        source = interferer.position
+        source_floor = plan.floor_of(source)
+        for node in range(num_nodes):
+            target = Position(*node_positions[node])
+            floors = abs(plan.floor_of(target) - source_floor)
+            shadowing = float(pathloss.draw_shadowing(rng))
+            rssi[i, node] = (interferer.inband_tx_power_dbm()
+                             - pathloss.path_loss_db(
+                                 source.distance_to(target), floors,
+                                 shadowing))
+    return rssi

@@ -1,0 +1,31 @@
+"""Synthetic testbeds standing in for the paper's physical deployments."""
+
+from repro.testbeds.layout import FloorPlan, grid_positions
+from repro.testbeds.synth import (
+    PRR_FLOOR,
+    apply_neighbor_table_limit,
+    RadioEnvironment,
+    SynthesisParams,
+    make_testbed,
+    synthesize,
+)
+from repro.testbeds.indriya import INDRIYA_NUM_NODES, INDRIYA_PLAN, make_indriya
+from repro.testbeds.wustl import WUSTL_NUM_NODES, WUSTL_PARAMS, WUSTL_PLAN, make_wustl
+
+__all__ = [
+    "FloorPlan",
+    "INDRIYA_NUM_NODES",
+    "INDRIYA_PLAN",
+    "PRR_FLOOR",
+    "RadioEnvironment",
+    "SynthesisParams",
+    "WUSTL_NUM_NODES",
+    "WUSTL_PARAMS",
+    "apply_neighbor_table_limit",
+    "WUSTL_PLAN",
+    "grid_positions",
+    "make_indriya",
+    "make_testbed",
+    "make_wustl",
+    "synthesize",
+]

@@ -1,0 +1,70 @@
+"""Tests for repro.core.laxity (Equation 1)."""
+
+from repro.core.laxity import calculate_laxity, conflict_slots_for
+from repro.core.schedule import Schedule
+
+from test_core_schedule import request
+
+
+class TestLaxity:
+    def test_no_remaining_transmissions(self):
+        """With T_post empty the laxity is just the remaining window."""
+        schedule = Schedule(6, 100, 2)
+        assert calculate_laxity(schedule, slot=10, deadline_slot=50,
+                                remaining=[]) == 40
+
+    def test_empty_schedule(self):
+        """d - s - 0 - |T_post| on an empty schedule."""
+        schedule = Schedule(6, 100, 2)
+        remaining = [request(1, 2), request(2, 3)]
+        assert calculate_laxity(schedule, 10, 50, remaining) == 40 - 0 - 2
+
+    def test_conflicting_slots_subtracted(self):
+        schedule = Schedule(6, 100, 2)
+        # Busy slots for node 1 or 2 inside (10, 50]: slots 20 and 30.
+        schedule.add(request(1, 4), 20, 0)
+        schedule.add(request(2, 5), 30, 0)
+        remaining = [request(1, 2)]
+        assert calculate_laxity(schedule, 10, 50, remaining) == 40 - 2 - 1
+
+    def test_conflicts_outside_window_ignored(self):
+        schedule = Schedule(6, 100, 2)
+        schedule.add(request(1, 4), 5, 0)    # before the window
+        schedule.add(request(1, 5), 60, 0)   # after the deadline
+        remaining = [request(1, 2)]
+        assert calculate_laxity(schedule, 10, 50, remaining) == 40 - 0 - 1
+
+    def test_per_transmission_sum_double_counts(self):
+        """The paper's estimate sums q per remaining transmission, so one
+        busy slot blocking two remaining transmissions counts twice —
+        deliberately conservative."""
+        schedule = Schedule(6, 100, 2)
+        schedule.add(request(1, 2), 20, 0)  # conflicts with both below
+        remaining = [request(1, 4), request(2, 5)]
+        assert calculate_laxity(schedule, 10, 50, remaining) == 40 - 2 - 2
+
+    def test_negative_laxity(self):
+        schedule = Schedule(6, 100, 2)
+        remaining = [request(1, 2)] * 5
+        assert calculate_laxity(schedule, 46, 50, remaining) == 4 - 0 - 5
+
+    def test_zero_laxity_boundary(self):
+        schedule = Schedule(6, 100, 2)
+        remaining = [request(1, 2), request(2, 3)]
+        assert calculate_laxity(schedule, 48, 50, remaining) == 0
+
+    def test_conflict_slots_for(self):
+        schedule = Schedule(6, 100, 2)
+        schedule.add(request(1, 4), 20, 0)
+        schedule.add(request(3, 5), 25, 0)
+        assert conflict_slots_for(schedule, request(1, 3), 0, 99) == 2
+        assert conflict_slots_for(schedule, request(0, 2), 0, 99) == 0
+
+    def test_same_slot_conflict_counted_once_per_transmission(self):
+        """Two transmissions in one slot both touching t's nodes still
+        make just one unusable slot for t."""
+        schedule = Schedule(8, 100, 4)
+        schedule.add(request(1, 6), 20, 0)
+        schedule.add(request(2, 7), 20, 1)
+        remaining = [request(1, 2)]
+        assert calculate_laxity(schedule, 10, 50, remaining) == 40 - 1 - 1

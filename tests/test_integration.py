@@ -1,0 +1,151 @@
+"""End-to-end integration tests: testbed → graphs → workload → routes →
+schedule → simulation → detection, exercised as one pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import validate_schedule
+from repro.detection import (
+    DetectionConfig,
+    Verdict,
+    build_epoch_reports,
+    diagnose_epoch,
+)
+from repro.experiments import (
+    build_workload,
+    prepare_network,
+    schedule_workload,
+)
+from repro.flows import PeriodRange
+from repro.routing import TrafficType
+from repro.simulator import SimulationConfig, TschSimulator
+
+
+@pytest.fixture(scope="module")
+def wustl_network(wustl):
+    topology, _ = wustl
+    return prepare_network(topology, channels=(11, 12, 13, 14))
+
+
+class TestEndToEndPipeline:
+    @pytest.mark.parametrize("traffic", [TrafficType.PEER_TO_PEER,
+                                         TrafficType.CENTRALIZED])
+    def test_schedule_then_simulate(self, wustl, wustl_network, traffic):
+        """The full pipeline runs for both traffic patterns and yields
+        sane PDRs (including centralized routes with a wired hand-off)."""
+        topology, environment = wustl
+        network = wustl_network
+        rng = np.random.default_rng(3)
+        flows = build_workload(network, 12, PeriodRange(0, 2), traffic, rng)
+        result = schedule_workload(network, flows, "RC")
+        assert result.schedulable
+        assert validate_schedule(result.schedule, network.reuse, 2) is None
+
+        simulator = TschSimulator(
+            result.schedule, flows, environment,
+            network.topology.channel_map,
+            config=SimulationConfig(seed=3))
+        stats = simulator.run(20)
+        pdrs = stats.pdr_per_flow()
+        assert set(pdrs) == {f.flow_id for f in flows}
+        # Light workload on good channels: high delivery throughout.
+        assert min(pdrs.values()) > 0.5
+        assert sorted(pdrs.values())[len(pdrs) // 2] > 0.9
+
+    def test_centralized_wire_not_simulated(self, wustl, wustl_network):
+        """No transmission in any schedule uses a wired AP→AP hop."""
+        topology, _ = wustl
+        network = wustl_network
+        rng = np.random.default_rng(5)
+        flows = build_workload(network, 15, PeriodRange(0, 2),
+                               TrafficType.CENTRALIZED, rng)
+        aps = set(network.access_points)
+        result = schedule_workload(network, flows, "NR")
+        assert result.schedulable
+        for entry in result.schedule.entries:
+            link = entry.request.link
+            assert not (link[0] in aps and link[1] in aps), (
+                f"wired hop {link} was scheduled over the air")
+
+    def test_pipeline_determinism(self, wustl, wustl_network):
+        """Same seeds, same everything: schedules and PDRs match."""
+        topology, environment = wustl
+        network = wustl_network
+
+        def run_once():
+            rng = np.random.default_rng(9)
+            flows = build_workload(network, 10, PeriodRange(0, 2),
+                                   TrafficType.PEER_TO_PEER, rng)
+            result = schedule_workload(network, flows, "RC")
+            simulator = TschSimulator(
+                result.schedule, flows, environment,
+                network.topology.channel_map,
+                config=SimulationConfig(seed=9))
+            stats = simulator.run(10)
+            placements = [(e.request.flow_id, e.request.instance,
+                           e.request.hop_index, e.request.attempt,
+                           e.slot, e.offset)
+                          for e in result.schedule.entries]
+            return placements, stats.pdr_per_flow()
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+
+    def test_detection_pipeline_from_raw_stats(self, wustl, wustl_network):
+        """build_epoch_reports → diagnose_epoch runs on real simulator
+        output and only ever diagnoses reuse-involved links."""
+        topology, environment = wustl
+        network = wustl_network
+        rng = np.random.default_rng(13)
+        flows = build_workload(network, 40, PeriodRange(-1, 1),
+                               TrafficType.PEER_TO_PEER, rng)
+        result = schedule_workload(network, flows, "RA")
+        assert result.schedulable
+        simulator = TschSimulator(
+            result.schedule, flows, environment,
+            network.topology.channel_map,
+            config=SimulationConfig(seed=13))
+        stats = simulator.run(12)
+        reports = build_epoch_reports(stats, repetitions_per_epoch=6)
+        assert len(reports) == 2
+        reuse_links = set(result.schedule.reuse_links())
+        for report in reports:
+            for diagnosis in diagnose_epoch(report, DetectionConfig()):
+                assert diagnosis.link in reuse_links
+                assert diagnosis.verdict in (
+                    Verdict.OK, Verdict.REJECT, Verdict.ACCEPT,
+                    Verdict.INSUFFICIENT_DATA)
+
+    def test_three_policies_share_workload(self, wustl, wustl_network):
+        """All three policies accept the same flow set object (no hidden
+        mutation of flows during scheduling)."""
+        topology, _ = wustl
+        network = wustl_network
+        rng = np.random.default_rng(21)
+        flows = build_workload(network, 10, PeriodRange(0, 2),
+                               TrafficType.PEER_TO_PEER, rng)
+        snapshot = [(f.flow_id, f.route) for f in flows]
+        for policy in ("NR", "RA", "RC"):
+            schedule_workload(network, flows, policy)
+        assert [(f.flow_id, f.route) for f in flows] == snapshot
+
+
+class TestCrossPolicyShapes:
+    """The paper's qualitative orderings on a fixed heavy workload."""
+
+    def test_heavy_load_ordering(self, wustl, wustl_network):
+        topology, environment = wustl
+        network = wustl_network
+        rng = np.random.default_rng(31)
+        flows = build_workload(network, 80, PeriodRange(-1, 3),
+                               TrafficType.PEER_TO_PEER, rng)
+        results = {policy: schedule_workload(network, flows, policy)
+                   for policy in ("NR", "RA", "RC")}
+        # Reuse-capable schedulers accept what NR accepts (or more).
+        if results["NR"].schedulable:
+            assert results["RA"].schedulable
+            assert results["RC"].schedulable
+        if results["RA"].schedulable and results["RC"].schedulable:
+            assert (results["RC"].schedule.num_reused_cells()
+                    <= results["RA"].schedule.num_reused_cells())

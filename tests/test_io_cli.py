@@ -1,0 +1,146 @@
+"""Tests for repro.io (persistence) and repro.cli."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.schedule import Schedule
+from repro.flows.flow import Flow, FlowSet
+from repro.io import (
+    load_flow_set,
+    load_schedule,
+    load_topology,
+    save_flow_set,
+    save_schedule,
+    save_topology,
+)
+
+from test_core_schedule import request
+
+
+class TestTopologyRoundtrip:
+    def test_roundtrip(self, line_topology, tmp_path):
+        path = tmp_path / "topo.npz"
+        save_topology(line_topology, path)
+        loaded = load_topology(path)
+        assert np.array_equal(loaded.prr, line_topology.prr)
+        assert list(loaded.channel_map) == list(line_topology.channel_map)
+        assert loaded.num_nodes == line_topology.num_nodes
+        assert loaded.name == line_topology.name
+
+    def test_roles_and_positions_preserved(self, line_topology, tmp_path):
+        topo = line_topology.with_access_points([2])
+        path = tmp_path / "topo.npz"
+        save_topology(topo, path)
+        loaded = load_topology(path)
+        assert loaded.access_points() == [2]
+        assert loaded.node(3).position.x == 3.0
+
+    def test_real_testbed_roundtrip(self, wustl, tmp_path):
+        topology, _ = wustl
+        path = tmp_path / "wustl.npz"
+        save_topology(topology, path)
+        loaded = load_topology(path)
+        assert np.array_equal(loaded.prr, topology.prr)
+
+
+class TestFlowSetRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        flows = FlowSet([
+            Flow(0, 1, 5, 100, 80, (1, 3, 5)),
+            Flow(1, 2, 4, 200, 200),
+        ])
+        path = tmp_path / "flows.json"
+        save_flow_set(flows, path)
+        loaded = load_flow_set(path)
+        assert len(loaded) == 2
+        assert loaded[0].route == (1, 3, 5)
+        assert loaded[1].period_slots == 200
+        assert [f.flow_id for f in loaded] == [0, 1]
+
+    def test_wire_after_preserved(self, tmp_path):
+        flows = FlowSet([Flow(0, 1, 5, 100, 100, (1, 2, 4, 5),
+                              wire_after=1)])
+        path = tmp_path / "flows.json"
+        save_flow_set(flows, path)
+        loaded = load_flow_set(path)
+        assert loaded[0].wire_after == 1
+        assert loaded[0].links == ((1, 2), (4, 5))
+
+    def test_json_is_human_readable(self, tmp_path):
+        flows = FlowSet([Flow(0, 1, 5, 100, 100)])
+        path = tmp_path / "flows.json"
+        save_flow_set(flows, path)
+        payload = json.loads(path.read_text())
+        assert payload["flows"][0]["source"] == 1
+
+
+class TestScheduleRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        schedule = Schedule(6, 20, 2)
+        schedule.add(request(0, 1), 0, 0)
+        schedule.add(request(2, 3), 0, 1)
+        schedule.add(request(4, 5), 3, 0)
+        path = tmp_path / "schedule.json"
+        save_schedule(schedule, path)
+        loaded = load_schedule(path)
+        assert len(loaded) == 3
+        assert loaded.cell_size(0, 1) == 1
+        assert loaded.node_busy(4, 3)
+        loaded.validate_basic()
+
+    def test_load_rechecks_invariants(self, tmp_path):
+        schedule = Schedule(6, 20, 2)
+        schedule.add(request(0, 1), 0, 0)
+        path = tmp_path / "schedule.json"
+        save_schedule(schedule, path)
+        payload = json.loads(path.read_text())
+        payload["entries"].append(dict(payload["entries"][0],
+                                       receiver=2, offset=1))
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_schedule(path)  # node 0 double-booked in slot 0
+
+
+class TestCli:
+    def test_topology_command(self, capsys):
+        assert main(["topology", "--testbed", "wustl",
+                     "--channels", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes: 60" in out
+        assert "reuse graph" in out
+
+    def test_topology_save(self, tmp_path, capsys):
+        path = tmp_path / "t.npz"
+        assert main(["topology", "--testbed", "wustl", "--channels", "4",
+                     "--save", str(path)]) == 0
+        assert path.exists()
+        loaded = load_topology(path)
+        assert loaded.num_channels == 4
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--testbed", "wustl", "--values", "4",
+                     "--flows", "20", "--flow-sets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "NR:" in out and "RC:" in out
+
+    def test_reliability_command(self, capsys):
+        assert main(["reliability", "--flow-sets", "1",
+                     "--repetitions", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "median" in out
+
+    def test_detection_command(self, capsys):
+        assert main(["detection", "--flows", "40", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "RA/clean" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_testbed_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topology", "--testbed", "mars"])

@@ -1,0 +1,100 @@
+"""Tests for repro.mac.tsch."""
+
+import pytest
+
+from repro.mac.channels import ChannelMap
+from repro.mac.tsch import (
+    HoppingSequence,
+    SLOT_DURATION_MS,
+    SLOTS_PER_SECOND,
+    SlotTiming,
+    hop_channel,
+    seconds_to_slots,
+    slots_to_seconds,
+)
+
+
+class TestSlotConversion:
+    def test_one_second_is_100_slots(self):
+        assert seconds_to_slots(1.0) == 100
+
+    def test_half_second(self):
+        assert seconds_to_slots(0.5) == 50
+
+    def test_paper_period_range(self):
+        """P = [2^-1, 2^3] seconds maps to 50..800 slots."""
+        assert [seconds_to_slots(2.0 ** e) for e in range(-1, 4)] == [
+            50, 100, 200, 400, 800]
+
+    def test_non_slot_aligned_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_slots(0.125)  # 12.5 slots
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_slots(0.0)
+
+    def test_roundtrip(self):
+        assert slots_to_seconds(seconds_to_slots(2.0)) == 2.0
+
+    def test_constants_consistent(self):
+        assert SLOTS_PER_SECOND * SLOT_DURATION_MS == 1000.0
+
+
+class TestHopChannel:
+    def test_formula(self):
+        """logicalChannel = (ASN + offset) mod |M| (paper Section III-A)."""
+        assert hop_channel(asn=7, channel_offset=3, num_channels=4) == 2
+
+    def test_asn_zero(self):
+        assert hop_channel(0, 2, 5) == 2
+
+    def test_offset_out_of_range(self):
+        with pytest.raises(ValueError):
+            hop_channel(0, 5, 5)
+
+    def test_negative_asn_rejected(self):
+        with pytest.raises(ValueError):
+            hop_channel(-1, 0, 5)
+
+    def test_each_offset_distinct_channel_same_slot(self):
+        """Distinct offsets never share a channel within a slot."""
+        channels = {hop_channel(asn=42, channel_offset=c, num_channels=8)
+                    for c in range(8)}
+        assert len(channels) == 8
+
+
+class TestHoppingSequence:
+    def test_cycles_through_all_channels(self):
+        """Any offset visits every physical channel across |M| slots.
+
+        This is the property forcing the paper's 'reliable on all
+        channels' admission rule for communication-graph edges.
+        """
+        sequence = HoppingSequence(ChannelMap.first_n(4))
+        visited = sequence.channels_visited(channel_offset=1, num_slots=4)
+        assert sorted(visited) == [11, 12, 13, 14]
+
+    def test_periodicity(self):
+        sequence = HoppingSequence(ChannelMap.first_n(3))
+        first = sequence.channels_visited(0, 3)
+        second = sequence.channels_visited(0, 3, start_asn=3)
+        assert first == second
+
+    def test_physical_channel(self):
+        sequence = HoppingSequence(ChannelMap((20, 25)))
+        assert sequence.physical_channel(asn=0, channel_offset=0) == 20
+        assert sequence.physical_channel(asn=1, channel_offset=0) == 25
+
+
+class TestSlotTiming:
+    def test_default_template_fits_10ms(self):
+        assert SlotTiming().fits_slot()
+
+    def test_total(self):
+        timing = SlotTiming(1000.0, 2000.0, 500.0, 500.0)
+        assert timing.total_us() == 4000.0
+
+    def test_oversized_template_detected(self):
+        timing = SlotTiming(max_packet_us=9000.0)
+        assert not timing.fits_slot()

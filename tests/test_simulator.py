@@ -1,0 +1,341 @@
+"""Tests for repro.simulator (radio, interference, stats, engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.flows.flow import Flow, FlowSet
+from repro.mac.channels import ChannelMap
+from repro.propagation.pathloss import LogDistancePathLoss
+from repro.simulator.engine import SimulationConfig, TschSimulator
+from repro.simulator.interference import (
+    WifiInterferer,
+    interferer_rssi_matrix,
+    place_interferer_pairs,
+)
+from repro.simulator.radio import decide_reception, sinr_at_receiver
+from repro.simulator.stats import AttemptCounter, SimulationStats
+from repro.propagation.prr_model import get_prr_curve
+from repro.network.node import Position
+from repro.testbeds.layout import FloorPlan
+from repro.testbeds.synth import RadioEnvironment
+
+from test_core_schedule import request
+
+
+# ----------------------------------------------------------------------
+# Radio
+# ----------------------------------------------------------------------
+
+class TestRadio:
+    def test_sinr_no_interference(self):
+        assert sinr_at_receiver(-90.0, -98.0, []) == pytest.approx(8.0)
+
+    def test_sinr_with_interference(self):
+        clean = sinr_at_receiver(-90.0, -98.0, [])
+        noisy = sinr_at_receiver(-90.0, -98.0, [-95.0])
+        assert noisy < clean
+
+    def test_sinr_zero_signal(self):
+        assert sinr_at_receiver(float("-inf"), -98.0, []) == float("-inf")
+
+    def test_decide_reception_strong_signal(self):
+        lookup = get_prr_curve(60, 0.0)
+        rng = np.random.default_rng(0)
+        decision = decide_reception(-60.0, -98.0, [], lookup, rng)
+        assert decision.success
+        assert decision.success_probability > 0.999
+
+    def test_decide_reception_hopeless_signal(self):
+        lookup = get_prr_curve(60, 0.0)
+        rng = np.random.default_rng(0)
+        decision = decide_reception(-120.0, -98.0, [], lookup, rng)
+        assert not decision.success
+        assert decision.success_probability < 1e-6
+
+    def test_capture_effect(self):
+        """A much stronger intended signal survives a concurrent
+        transmission (the capture effect the paper relies on)."""
+        lookup = get_prr_curve(60, 0.0)
+        rng = np.random.default_rng(0)
+        strong = decide_reception(-60.0, -98.0, [-90.0], lookup, rng)
+        weak = decide_reception(-90.0, -98.0, [-84.0], lookup, rng)
+        assert strong.success_probability > 0.999
+        assert weak.success_probability < 0.01
+
+
+# ----------------------------------------------------------------------
+# Interference
+# ----------------------------------------------------------------------
+
+class TestInterference:
+    def test_affected_channels_wifi_1(self):
+        interferer = WifiInterferer(Position(0, 0, 0), wifi_channel=1)
+        assert interferer.affected_channels() == [11, 12, 13, 14]
+
+    def test_inband_power_below_total(self):
+        interferer = WifiInterferer(Position(0, 0, 0), tx_power_dbm=15.0)
+        assert interferer.inband_tx_power_dbm() < 15.0
+
+    def test_duty_cycle_bounds(self):
+        with pytest.raises(ValueError):
+            WifiInterferer(Position(0, 0, 0), duty_cycle=1.5)
+
+    def test_one_interferer_per_floor(self):
+        plan = FloorPlan(3, 40.0, 20.0)
+        interferers = place_interferer_pairs(plan)
+        assert len(interferers) == 3
+        floors = sorted(plan.floor_of(i.position) for i in interferers)
+        assert floors == [0, 1, 2]
+
+    def test_rssi_matrix_shape_and_decay(self):
+        plan = FloorPlan(1, 40.0, 20.0)
+        interferers = [WifiInterferer(Position(0.0, 0.0, 0.0))]
+        near = np.array([[1.0, 0.0, 0.0]])
+        far = np.array([[40.0, 20.0, 0.0]])
+        model = LogDistancePathLoss(shadowing_sigma_db=0.0)
+        rng = np.random.default_rng(0)
+        rssi_near = interferer_rssi_matrix(interferers, near, plan, model, rng)
+        rssi_far = interferer_rssi_matrix(interferers, far, plan, model, rng)
+        assert rssi_near.shape == (1, 1)
+        assert rssi_near[0, 0] > rssi_far[0, 0]
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+
+class TestStats:
+    def test_attempt_counter(self):
+        counter = AttemptCounter()
+        assert counter.prr is None
+        counter.record(True)
+        counter.record(False)
+        assert counter.prr == 0.5
+
+    def test_pdr_accounting(self):
+        stats = SimulationStats()
+        stats.record_release(0, 10)
+        stats.record_delivery(0, 9)
+        stats.record_release(1, 10)
+        assert stats.pdr_per_flow() == {0: 0.9, 1: 0.0}
+        assert stats.worst_pdr() == 0.0
+        assert stats.median_pdr() == 0.45
+
+    def test_link_samples_by_category(self):
+        stats = SimulationStats()
+        record = stats.start_repetition()
+        record.record((0, 1), shared_cell=True, success=True)
+        record.record((0, 1), shared_cell=True, success=False)
+        record.record((0, 1), shared_cell=False, success=True)
+        record2 = stats.start_repetition()
+        record2.record((0, 1), shared_cell=True, success=True)
+        assert stats.link_prr_samples((0, 1), True) == [0.5, 1.0]
+        assert stats.link_prr_samples((0, 1), False) == [1.0]
+        assert stats.overall_link_prr((0, 1), True) == pytest.approx(2 / 3)
+
+    def test_repetition_range(self):
+        stats = SimulationStats()
+        for value in (True, False):
+            record = stats.start_repetition()
+            record.record((0, 1), True, value)
+        assert stats.link_prr_samples((0, 1), True, (0, 1)) == [1.0]
+        assert stats.link_prr_samples((0, 1), True, (1, 2)) == [0.0]
+
+    def test_links_seen(self):
+        stats = SimulationStats()
+        record = stats.start_repetition()
+        record.record((3, 4), True, True)
+        record.record((1, 2), False, True)
+        assert stats.links_seen() == [(1, 2), (3, 4)]
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+def tiny_environment(rssi_ab=-60.0, rssi_bc=-60.0, rssi_ac=-120.0,
+                     num_channels=2):
+    """Three nodes in a line A-B-C with controllable link strengths."""
+    rssi = np.full((3, 3, num_channels), -150.0)
+    idx = np.arange(3)
+    rssi[idx, idx, :] = -np.inf
+    rssi[0, 1, :] = rssi[1, 0, :] = rssi_ab
+    rssi[1, 2, :] = rssi[2, 1, :] = rssi_bc
+    rssi[0, 2, :] = rssi[2, 0, :] = rssi_ac
+    return RadioEnvironment(
+        positions=np.zeros((3, 3)),
+        rssi_dbm=rssi,
+        channel_map=ChannelMap.first_n(num_channels),
+        grey_sigma_db=3.6,
+    )
+
+
+def tiny_flow_and_schedule(deadline=100):
+    flow = Flow(0, 0, 2, 100, deadline, (0, 1, 2))
+    flow_set = FlowSet([flow])
+    schedule = Schedule(3, 100, 2)
+    schedule.add(request(0, 1, hop=0, attempt=0), 0, 0)
+    schedule.add(request(0, 1, hop=0, attempt=1), 1, 0)
+    schedule.add(request(1, 2, hop=1, attempt=0), 2, 0)
+    schedule.add(request(1, 2, hop=1, attempt=1), 3, 0)
+    return flow_set, schedule
+
+
+class TestEngine:
+    def test_perfect_links_deliver_everything(self):
+        flow_set, schedule = tiny_flow_and_schedule()
+        env = tiny_environment()
+        sim = TschSimulator(schedule, flow_set, env, env.channel_map,
+                            config=SimulationConfig(seed=1))
+        stats = sim.run(20)
+        assert stats.pdr_per_flow()[0] == 1.0
+
+    def test_dead_link_delivers_nothing(self):
+        flow_set, schedule = tiny_flow_and_schedule()
+        env = tiny_environment(rssi_bc=-150.0)
+        sim = TschSimulator(schedule, flow_set, env, env.channel_map,
+                            config=SimulationConfig(seed=1))
+        stats = sim.run(20)
+        assert stats.pdr_per_flow()[0] == 0.0
+        # The first hop still transmitted and succeeded.
+        assert stats.overall_link_prr((0, 1), False) == 1.0
+
+    def test_retransmission_slot_unused_after_success(self):
+        """With a perfect first hop, attempt 1 never transmits."""
+        flow_set, schedule = tiny_flow_and_schedule()
+        env = tiny_environment()
+        sim = TschSimulator(
+            schedule, flow_set, env, env.channel_map,
+            config=SimulationConfig(seed=1, fast_fading_sigma_db=0.0,
+                                    slow_fading_sigma_db=0.0))
+        stats = sim.run(10)
+        counter_cf = stats.overall_link_prr((0, 1), False)
+        # 10 repetitions, exactly one attempt each (the primary).
+        total_attempts = sum(
+            record.contention_free[(0, 1)].attempts
+            for record in stats.repetitions)
+        assert total_attempts == 10
+        assert counter_cf == 1.0
+
+    def test_retransmission_rescues_marginal_link(self):
+        """A ~50% link delivers far more than 50% thanks to the reserved
+        retransmission slot."""
+        env = tiny_environment()
+        curve = get_prr_curve(60, 0.0)
+        # Place the B->C RSSI right at the 50% point of the raw curve.
+        half_point = -98.0 + curve.inverse(0.5)
+        env = tiny_environment(rssi_bc=half_point)
+        flow_set, schedule = tiny_flow_and_schedule()
+        sim = TschSimulator(
+            schedule, flow_set, env, env.channel_map,
+            config=SimulationConfig(seed=2, fast_fading_sigma_db=0.0,
+                                    slow_fading_sigma_db=0.0))
+        stats = sim.run(400)
+        assert 0.6 < stats.pdr_per_flow()[0] < 0.9
+
+    def test_clean_air_prr_matches_measured(self):
+        """The consistency contract: simulated clean-air PRR converges to
+        the smoothed (measured) curve value."""
+        curve = get_prr_curve(60, 3.6)
+        target_rssi = -98.0 + 5.0  # 5 dB SNR, inside the grey region
+        env = tiny_environment(rssi_ab=target_rssi)
+        flow = Flow(0, 0, 1, 10, 10, (0, 1))
+        flow_set = FlowSet([flow])
+        schedule = Schedule(3, 10, 2)
+        schedule.add(request(0, 1), 0, 0)
+        sim = TschSimulator(schedule, flow_set, env, env.channel_map,
+                            config=SimulationConfig(seed=3))
+        stats = sim.run(3000)
+        simulated = stats.overall_link_prr((0, 1), False)
+        assert simulated == pytest.approx(curve(5.0), abs=0.03)
+
+    def test_concurrent_transmissions_interfere(self):
+        """Cross-coupling at or above the signal level destroys most
+        packets; DSSS processing gain keeps equal-power collisions from
+        being a total loss, but the PRR drops far below the clean 1.0."""
+        rssi = np.full((4, 4, 1), -60.0)
+        idx = np.arange(4)
+        rssi[idx, idx, :] = -np.inf
+        rssi[0, 3, :] = -52.0  # interference 8 dB above signal at node 3
+        env = RadioEnvironment(
+            positions=np.zeros((4, 3)), rssi_dbm=rssi,
+            channel_map=ChannelMap.first_n(1), grey_sigma_db=3.6)
+        flows = FlowSet([Flow(0, 0, 1, 10, 10, (0, 1)),
+                         Flow(1, 2, 3, 10, 10, (2, 3))])
+        schedule = Schedule(4, 10, 1)
+        schedule.add(request(0, 1, flow_id=0), 0, 0)
+        schedule.add(request(2, 3, flow_id=1), 0, 0)
+        sim = TschSimulator(schedule, flows, env, env.channel_map,
+                            config=SimulationConfig(seed=4))
+        stats = sim.run(200)
+        # Equal-power collision (link 0->1): substantial but partial loss.
+        assert stats.overall_link_prr((0, 1), True) < 0.9
+        # Dominated collision (link 2->3): near-total loss.
+        assert stats.overall_link_prr((2, 3), True) < 0.1
+
+    def test_capture_lets_strong_transmission_survive(self):
+        """Asymmetric coupling: the strong link survives the collision,
+        the weak one does not."""
+        rssi = np.full((4, 4, 1), -150.0)
+        idx = np.arange(4)
+        rssi[idx, idx, :] = -np.inf
+        rssi[0, 1, :] = -60.0   # strong intended link
+        rssi[2, 3, :] = -92.0   # marginal intended link
+        rssi[2, 1, :] = -95.0   # weak interference at receiver 1
+        rssi[0, 3, :] = -70.0   # strong interference at receiver 3
+        env = RadioEnvironment(
+            positions=np.zeros((4, 3)), rssi_dbm=rssi,
+            channel_map=ChannelMap.first_n(1), grey_sigma_db=3.6)
+        flows = FlowSet([Flow(0, 0, 1, 10, 10, (0, 1)),
+                         Flow(1, 2, 3, 10, 10, (2, 3))])
+        schedule = Schedule(4, 10, 1)
+        schedule.add(request(0, 1, flow_id=0), 0, 0)
+        schedule.add(request(2, 3, flow_id=1), 0, 0)
+        sim = TschSimulator(schedule, flows, env, env.channel_map,
+                            config=SimulationConfig(seed=5))
+        stats = sim.run(200)
+        assert stats.overall_link_prr((0, 1), True) > 0.9
+        assert stats.overall_link_prr((2, 3), True) < 0.2
+
+    def test_wifi_interferer_degrades_overlapping_channel(self):
+        env = tiny_environment(rssi_ab=-93.0, num_channels=1)
+        flow = Flow(0, 0, 1, 10, 10, (0, 1))
+        flow_set = FlowSet([flow])
+        schedule = Schedule(3, 10, 1)
+        schedule.add(request(0, 1), 0, 0)
+        interferer = WifiInterferer(Position(0, 0, 0), wifi_channel=1,
+                                    duty_cycle=1.0)
+        rssi_matrix = np.full((1, 3), -85.0)
+        clean = TschSimulator(schedule, flow_set, env, env.channel_map,
+                              config=SimulationConfig(seed=6)).run(300)
+        noisy = TschSimulator(schedule, flow_set, env, env.channel_map,
+                              interferers=[interferer],
+                              interferer_rssi_dbm=rssi_matrix,
+                              config=SimulationConfig(seed=6)).run(300)
+        assert (noisy.overall_link_prr((0, 1), False)
+                < clean.overall_link_prr((0, 1), False) - 0.2)
+
+    def test_interferers_require_rssi_matrix(self):
+        env = tiny_environment()
+        flow_set, schedule = tiny_flow_and_schedule()
+        with pytest.raises(ValueError):
+            TschSimulator(schedule, flow_set, env, env.channel_map,
+                          interferers=[WifiInterferer(Position(0, 0, 0))])
+
+    def test_determinism(self):
+        flow_set, schedule = tiny_flow_and_schedule()
+        env = tiny_environment(rssi_bc=-94.0)
+        runs = []
+        for _ in range(2):
+            sim = TschSimulator(schedule, flow_set, env, env.channel_map,
+                                config=SimulationConfig(seed=7))
+            runs.append(sim.run(50).pdr_per_flow()[0])
+        assert runs[0] == runs[1]
+
+    def test_invalid_repetitions(self):
+        flow_set, schedule = tiny_flow_and_schedule()
+        env = tiny_environment()
+        sim = TschSimulator(schedule, flow_set, env, env.channel_map)
+        with pytest.raises(ValueError):
+            sim.run(0)
