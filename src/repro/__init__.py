@@ -50,6 +50,8 @@ from repro.experiments import (
 from repro.flows import Flow, FlowSet, PeriodRange, generate_flow_set
 from repro.mac import ChannelMap
 from repro.network import ChannelReuseGraph, CommunicationGraph, Topology
+from repro import obs
+from repro.obs import MetricsRegistry, NullRecorder, Recorder, Tracer
 from repro.routing import TrafficType, assign_routes
 from repro.simulator import SimulationConfig, TschSimulator, WifiInterferer
 from repro.testbeds import make_indriya, make_testbed, make_wustl
@@ -66,8 +68,13 @@ __all__ = [
     "FixedPriorityScheduler",
     "Flow",
     "FlowSet",
+    "MetricsRegistry",
     "NoReusePolicy",
+    "NullRecorder",
     "PeriodRange",
+    "Recorder",
+    "Tracer",
+    "obs",
     "Schedule",
     "SchedulingResult",
     "SimulationConfig",

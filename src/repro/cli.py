@@ -6,7 +6,12 @@ a shell without writing Python:
 * ``topology`` — synthesize a testbed, print statistics, optionally save;
 * ``sweep`` — schedulable-ratio sweep (Figures 1-3);
 * ``reliability`` — scheduled-then-simulated PDR comparison (Figure 8);
-* ``detection`` — K-S detection experiment (Figures 10-11).
+* ``detection`` — K-S detection experiment (Figures 10-11);
+* ``report`` — pretty-print a saved metrics snapshot.
+
+Every experiment command accepts ``--trace FILE`` (structured JSONL
+event trace) and ``--metrics-out FILE`` (metrics snapshot JSON); either
+flag turns the observability layer on for the run (see ``repro.obs``).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.common import prepare_network
 from repro.experiments.detection_exp import run_detection
 from repro.experiments.reliability import run_reliability
@@ -26,11 +32,13 @@ from repro.routing.traffic import TrafficType
 def _make_testbed(name: str, seed: Optional[int]):
     from repro.testbeds import make_indriya, make_wustl
 
-    if name == "indriya":
-        return make_indriya(**({} if seed is None else {"seed": seed}))
-    if name == "wustl":
-        return make_wustl(**({} if seed is None else {"seed": seed}))
-    raise SystemExit(f"unknown testbed: {name!r} (indriya or wustl)")
+    factories = {"indriya": make_indriya, "wustl": make_wustl}
+    factory = factories.get(name)
+    if factory is None:
+        raise SystemExit(f"unknown testbed: {name!r} (indriya or wustl)")
+    # The seed is passed positionally so both factories are driven
+    # uniformly; None keeps each testbed's canonical default seed.
+    return factory() if seed is None else factory(seed)
 
 
 def _plan_for(name: str):
@@ -110,6 +118,21 @@ def cmd_detection(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.io import load_jsonl, load_metrics
+    from repro.obs.report import format_report
+
+    snapshot = load_metrics(args.metrics)
+    kind_counts = None
+    if args.trace_in:
+        kind_counts = dict(Counter(
+            record.get("kind", "?") for record in load_jsonl(args.trace_in)))
+    print(format_report(snapshot, kind_counts))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -122,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--testbed", default="indriya",
                        choices=("indriya", "wustl"))
         p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="record a structured event trace (JSONL)")
+        p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write a metrics snapshot (JSON)")
 
     p = sub.add_parser("topology", help="synthesize and inspect a testbed")
     common(p)
@@ -160,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs", type=int, default=3)
     p.set_defaults(func=cmd_detection)
 
+    p = sub.add_parser("report", help="pretty-print a metrics snapshot")
+    p.add_argument("metrics", help="metrics JSON written by --metrics-out")
+    p.add_argument("--trace", dest="trace_in", default=None, metavar="FILE",
+                   help="also summarize a JSONL trace by event kind")
+    p.set_defaults(func=cmd_report)
+
     return parser
 
 
@@ -167,7 +200,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if not (trace_path or metrics_path):
+        return args.func(args)
+
+    from repro.io import save_metrics
+
+    with obs.recording() as recorder:
+        status = args.func(args)
+        if trace_path:
+            written = recorder.tracer.export_jsonl(trace_path)
+            dropped = recorder.tracer.dropped
+            suffix = f" ({dropped} older events dropped)" if dropped else ""
+            print(f"trace: {written} events -> {trace_path}{suffix}")
+        if metrics_path:
+            save_metrics(recorder.snapshot(), metrics_path)
+            print(f"metrics: snapshot -> {metrics_path}")
+    return status
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from repro.core.scheduler import OFFSET_FIRST, find_slot
 from repro.core.transmissions import TransmissionRequest
 from repro.flows.flow import Flow
 from repro.network.graphs import ChannelReuseGraph
+from repro.obs import recorder as _obs
 
 
 class NoReusePolicy:
@@ -30,5 +31,7 @@ class NoReusePolicy:
               remaining: Sequence[TransmissionRequest],
               ) -> Optional[Tuple[int, int]]:
         """Earliest conflict-free slot with an unused channel offset."""
+        if _obs.ENABLED:
+            _obs.RECORDER.count("policy.NR.place_calls")
         return find_slot(schedule, reuse_graph, request, NO_REUSE,
                          earliest, OFFSET_FIRST)

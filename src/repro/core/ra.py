@@ -17,6 +17,7 @@ from repro.core.scheduler import OFFSET_FIRST, find_slot
 from repro.core.transmissions import TransmissionRequest
 from repro.flows.flow import Flow
 from repro.network.graphs import ChannelReuseGraph
+from repro.obs import recorder as _obs
 
 #: Reuse hop-count threshold used for both RA and RC in the paper's
 #: evaluation (a fair comparison requires the same floor).
@@ -46,5 +47,7 @@ class AggressiveReusePolicy:
               remaining: Sequence[TransmissionRequest],
               ) -> Optional[Tuple[int, int]]:
         """Earliest slot with any offset feasible at ρ_t; lowest offset."""
+        if _obs.ENABLED:
+            _obs.RECORDER.count("policy.RA.place_calls")
         return find_slot(schedule, reuse_graph, request, self.rho_t,
                          earliest, OFFSET_FIRST)

@@ -29,6 +29,15 @@ from repro.core.scheduler import OFFSET_LEAST_LOADED, find_slot
 from repro.core.transmissions import TransmissionRequest
 from repro.flows.flow import Flow
 from repro.network.graphs import ChannelReuseGraph
+from repro.obs import recorder as _obs
+
+#: Buckets for the final-ρ fallback histogram (ρ is a small hop count).
+_FALLBACK_RHO_BUCKETS = (1, 2, 3, 4, 5, 6, 8, 12)
+
+
+def _jsonable_rho(rho: float):
+    """ρ for trace payloads: ∞ (no reuse) serializes as None."""
+    return None if rho == NO_REUSE else int(rho)
 
 #: Valid values for the ρ reset scope.
 RHO_RESET_TRANSMISSION = "transmission"
@@ -83,24 +92,58 @@ class ConservativeReusePolicy:
             self._rho = NO_REUSE
         rho = self._rho
 
+        recorder = _obs.RECORDER if _obs.ENABLED else None
+        if recorder is not None:
+            recorder.count("policy.RC.place_calls")
+        laxity_triggered = False
         best: Optional[Tuple[int, int]] = None
+        best_rho = rho
         while rho >= self.rho_t:
             found = find_slot(schedule, reuse_graph, request, rho,
                               earliest, self.offset_rule)
             if found is not None:
                 best = found
+                best_rho = rho
                 laxity = calculate_laxity(
                     schedule, found[0], request.deadline_slot, remaining)
+                if recorder is not None:
+                    recorder.event(
+                        "laxity_eval", flow=request.flow_id,
+                        hop=request.hop_index, slot=found[0],
+                        rho=_jsonable_rho(rho), laxity=laxity)
+                    if laxity < 0 and not laxity_triggered:
+                        laxity_triggered = True
+                        recorder.count("rc.laxity_triggers")
                 if laxity >= 0:
                     break
             if rho == NO_REUSE:
-                rho = reuse_graph.diameter()
-                if rho < self.rho_t:
+                next_rho = reuse_graph.diameter()
+                if next_rho < self.rho_t:
                     # Degenerate reuse graph: no finite hop count can be
                     # tried; stick with the no-reuse placement.
+                    rho = next_rho
                     break
+                if recorder is not None:
+                    recorder.count("rc.reuse_fallbacks")
+                    recorder.event(
+                        "rc_fallback", flow=request.flow_id,
+                        hop=request.hop_index,
+                        from_rho=_jsonable_rho(rho),
+                        to_rho=_jsonable_rho(next_rho))
+                rho = next_rho
             else:
+                if recorder is not None and rho - 1 >= self.rho_t:
+                    recorder.count("rc.reuse_fallbacks")
+                    recorder.event(
+                        "rc_fallback", flow=request.flow_id,
+                        hop=request.hop_index,
+                        from_rho=_jsonable_rho(rho),
+                        to_rho=_jsonable_rho(rho - 1))
                 rho -= 1
+
+        if recorder is not None and best is not None and best_rho != NO_REUSE:
+            recorder.observe("rc.fallback_rho", int(best_rho),
+                             _FALLBACK_RHO_BUCKETS)
 
         if self.rho_reset == RHO_RESET_FLOW:
             # Persist ρ across the flow's remaining transmissions, clamped

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -26,10 +26,29 @@ from repro.core.transmissions import (
 )
 from repro.flows.flow import Flow, FlowSet
 from repro.network.graphs import ChannelReuseGraph
+from repro.obs import recorder as _obs
 
 #: Offset selection rules understood by :func:`find_slot`.
 OFFSET_FIRST = "first"
 OFFSET_LEAST_LOADED = "least_loaded"
+
+#: Registry counters folded into :attr:`SchedulingResult.counters`
+#: (``registry name`` -> ``result key``).  The RC entries stay zero for
+#: NR / RA runs.
+RESULT_COUNTERS = (
+    ("scheduler.slots_scanned", "slots_scanned"),
+    ("scheduler.placements_tried", "placements_tried"),
+    ("scheduler.placements", "placements"),
+    ("scheduler.reuse_placements", "reuse_placements"),
+    ("rc.laxity_triggers", "laxity_triggers"),
+    ("rc.reuse_fallbacks", "reuse_fallbacks"),
+)
+
+
+def _note_scan(slots: int) -> None:
+    """Credit ``slots`` scanned slots to the live recorder."""
+    if slots and _obs.ENABLED:
+        _obs.RECORDER.count("scheduler.slots_scanned", slots)
 
 
 def find_slot(schedule: Schedule, reuse_graph: ChannelReuseGraph,
@@ -57,6 +76,8 @@ def find_slot(schedule: Schedule, reuse_graph: ChannelReuseGraph,
     Returns:
         ``(slot, offset)`` or None if nothing fits by the deadline.
     """
+    if _obs.ENABLED:
+        _obs.RECORDER.count("scheduler.placements_tried")
     deadline = request.deadline_slot
     if earliest > deadline:
         return None
@@ -68,18 +89,23 @@ def find_slot(schedule: Schedule, reuse_graph: ChannelReuseGraph,
         candidates = ~conflict & schedule.free_offset_slots(earliest, deadline)
         indices = np.flatnonzero(candidates)
         if indices.size == 0:
+            _note_scan(deadline - earliest + 1)
             return None
         slot = earliest + int(indices[0])
+        _note_scan(int(indices[0]) + 1)
         free = schedule.free_offsets(slot)
         return (slot, free[0])
 
+    scanned = 0
     for index in np.flatnonzero(~conflict):
+        scanned += 1
         slot = earliest + int(index)
         offsets = feasible_offsets(
             schedule, reuse_graph, request.sender, request.receiver,
             slot, rho)
         if not offsets:
             continue
+        _note_scan(scanned)
         if offset_rule == OFFSET_FIRST:
             return (slot, offsets[0])
         if offset_rule == OFFSET_LEAST_LOADED:
@@ -87,6 +113,7 @@ def find_slot(schedule: Schedule, reuse_graph: ChannelReuseGraph,
                        key=lambda c: (schedule.cell_size(slot, c), c))
             return (slot, best)
         raise ValueError(f"unknown offset rule: {offset_rule}")
+    _note_scan(scanned)
     return None
 
 
@@ -120,6 +147,11 @@ class SchedulingResult:
         failed_flow: Flow id of the first unschedulable flow, if any.
         failed_instance: Release index where scheduling failed, if any.
         elapsed_s: Wall-clock scheduling time in seconds.
+        counters: Per-run instrumentation counters (slots scanned,
+            placements tried/made, reuse placements, RC laxity triggers
+            and fallback steps).  Populated from the observability
+            registry when recording is enabled (see :mod:`repro.obs`);
+            empty otherwise so the disabled path stays free.
     """
 
     schedulable: bool
@@ -129,6 +161,7 @@ class SchedulingResult:
     failed_flow: Optional[int] = None
     failed_instance: Optional[int] = None
     elapsed_s: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
 
 
 class FixedPriorityScheduler:
@@ -166,6 +199,14 @@ class FixedPriorityScheduler:
         hyperperiod = flow_set.hyperperiod()
         schedule = Schedule(self.num_nodes, hyperperiod, self.num_offsets)
 
+        # Resolve observability once per run; ENABLED is a module-level
+        # flag so the disabled cost is one attribute read.
+        recorder = _obs.RECORDER if _obs.ENABLED else None
+        baseline = None
+        if recorder is not None:
+            baseline = {name: recorder.registry.counter_value(name)
+                        for name, _ in RESULT_COUNTERS}
+
         for flow in flow_set:
             self.policy.start_flow(flow)
             for instance in flow.instances(hyperperiod):
@@ -176,17 +217,59 @@ class FixedPriorityScheduler:
                         schedule, self.reuse_graph, request, earliest,
                         requests[position + 1:])
                     if placement is None:
-                        return SchedulingResult(
-                            schedulable=False, schedule=schedule,
-                            flow_set=flow_set, policy_name=self.policy.name,
+                        if recorder is not None:
+                            recorder.count("scheduler.rejections")
+                            recorder.event(
+                                "flow_rejected", policy=self.policy.name,
+                                flow=flow.flow_id,
+                                instance=instance.instance,
+                                hop=request.hop_index,
+                                deadline=request.deadline_slot)
+                        return self._finish(
+                            False, schedule, flow_set, start_time,
+                            recorder, baseline,
                             failed_flow=flow.flow_id,
-                            failed_instance=instance.instance,
-                            elapsed_s=time.perf_counter() - start_time)
+                            failed_instance=instance.instance)
                     slot, offset = placement
+                    if recorder is not None:
+                        reused = schedule.cell_size(slot, offset) > 0
+                        recorder.count("scheduler.placements")
+                        if reused:
+                            recorder.count("scheduler.reuse_placements")
+                        recorder.event(
+                            "placement", policy=self.policy.name,
+                            flow=flow.flow_id, instance=instance.instance,
+                            hop=request.hop_index, attempt=request.attempt,
+                            slot=slot, offset=offset, reused=reused)
                     schedule.add(request, slot, offset)
                     earliest = slot + 1
+            if recorder is not None:
+                recorder.event("flow_admitted", policy=self.policy.name,
+                               flow=flow.flow_id)
 
+        return self._finish(True, schedule, flow_set, start_time,
+                            recorder, baseline)
+
+    def _finish(self, schedulable: bool, schedule: Schedule,
+                flow_set: FlowSet, start_time: float, recorder, baseline,
+                failed_flow: Optional[int] = None,
+                failed_instance: Optional[int] = None) -> SchedulingResult:
+        """Assemble the result, folding registry deltas into counters."""
+        counters: Dict[str, float] = {}
+        if recorder is not None:
+            registry = recorder.registry
+            for name, key in RESULT_COUNTERS:
+                delta = registry.counter_value(name) - baseline[name]
+                counters[key] = int(delta) if delta.is_integer() else delta
+            prefix = f"policy.{self.policy.name}"
+            registry.inc(f"{prefix}.runs")
+            registry.inc(f"{prefix}.schedulable" if schedulable
+                         else f"{prefix}.unschedulable")
+            registry.inc(f"{prefix}.placements", counters["placements"])
+            registry.inc(f"{prefix}.reuse_placements",
+                         counters["reuse_placements"])
         return SchedulingResult(
-            schedulable=True, schedule=schedule, flow_set=flow_set,
-            policy_name=self.policy.name,
-            elapsed_s=time.perf_counter() - start_time)
+            schedulable=schedulable, schedule=schedule, flow_set=flow_set,
+            policy_name=self.policy.name, failed_flow=failed_flow,
+            failed_instance=failed_instance,
+            elapsed_s=time.perf_counter() - start_time, counters=counters)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.detection.health import EpochReport, LinkEpochReport
 from repro.detection.kstest import KsResult, ks_2samp
+from repro.obs import recorder as _obs
 from repro.simulator.stats import Link
 
 
@@ -82,6 +83,23 @@ class LinkDiagnosis:
     ks: Optional[KsResult] = None
 
 
+def _noted(diagnosis: LinkDiagnosis) -> LinkDiagnosis:
+    """Record a diagnosis with the observability layer, pass it through."""
+    if _obs.ENABLED:
+        recorder = _obs.RECORDER
+        recorder.count("detection.diagnoses")
+        recorder.count(f"detection.verdict.{diagnosis.verdict.value}")
+        recorder.event(
+            "ks_decision",
+            link=f"{diagnosis.link[0]}->{diagnosis.link[1]}",
+            epoch=diagnosis.epoch, verdict=diagnosis.verdict.value,
+            reuse_prr=diagnosis.reuse_prr,
+            contention_free_prr=diagnosis.contention_free_prr,
+            statistic=diagnosis.ks.statistic if diagnosis.ks else None,
+            p_value=diagnosis.ks.p_value if diagnosis.ks else None)
+    return diagnosis
+
+
 def diagnose_link(report: LinkEpochReport,
                   config: DetectionConfig = DetectionConfig(),
                   ) -> Optional[LinkDiagnosis]:
@@ -96,25 +114,25 @@ def diagnose_link(report: LinkEpochReport,
     if report.reuse_prr is None:
         return None
     if report.reuse_prr >= config.prr_threshold:
-        return LinkDiagnosis(
+        return _noted(LinkDiagnosis(
             link=report.link, epoch=report.epoch, verdict=Verdict.OK,
             reuse_prr=report.reuse_prr,
-            contention_free_prr=report.contention_free_prr)
+            contention_free_prr=report.contention_free_prr))
     if (len(report.reuse_samples) < config.min_samples
             or len(report.contention_free_samples) < config.min_samples):
-        return LinkDiagnosis(
+        return _noted(LinkDiagnosis(
             link=report.link, epoch=report.epoch,
             verdict=Verdict.INSUFFICIENT_DATA,
             reuse_prr=report.reuse_prr,
-            contention_free_prr=report.contention_free_prr)
+            contention_free_prr=report.contention_free_prr))
 
     result = ks_2samp(list(report.reuse_samples),
                       list(report.contention_free_samples))
     verdict = Verdict.REJECT if result.reject(config.alpha) else Verdict.ACCEPT
-    return LinkDiagnosis(
+    return _noted(LinkDiagnosis(
         link=report.link, epoch=report.epoch, verdict=verdict,
         reuse_prr=report.reuse_prr,
-        contention_free_prr=report.contention_free_prr, ks=result)
+        contention_free_prr=report.contention_free_prr, ks=result))
 
 
 def diagnose_epoch(report: EpochReport,

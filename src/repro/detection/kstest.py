@@ -21,6 +21,11 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.obs import recorder as _obs
+
+#: p-value histogram buckets (probability mass around common α levels).
+_PVALUE_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
+
 
 @dataclass(frozen=True)
 class KsResult:
@@ -104,4 +109,7 @@ def ks_2samp(sample1: Sequence[float], sample2: Sequence[float]) -> KsResult:
     effective = n1 * n2 / (n1 + n2)
     root = math.sqrt(effective)
     p = kolmogorov_survival((root + 0.12 + 0.11 / root) * d)
+    if _obs.ENABLED:
+        _obs.RECORDER.count("detection.ks_tests")
+        _obs.RECORDER.observe("detection.ks_pvalue", p, _PVALUE_BUCKETS)
     return KsResult(statistic=d, p_value=p, n1=n1, n2=n2)

@@ -30,6 +30,7 @@ from repro.flows.generator import (
 )
 from repro.network.graphs import ChannelReuseGraph, CommunicationGraph
 from repro.network.topology import Topology
+from repro.obs.profiling import timed
 from repro.routing.traffic import TrafficType, assign_routes
 
 #: Names of the three schedulers compared throughout the paper.
@@ -71,19 +72,21 @@ def prepare_network(topology: Topology, num_channels: Optional[int] = None,
         channels: Explicit physical channel list (overrides num_channels).
         prr_threshold: Communication-graph link admission threshold.
     """
-    if channels is not None:
-        restricted = topology.restrict_channels(list(channels))
-    elif num_channels is not None:
-        restricted = topology.restrict_channels(
-            list(topology.channel_map)[:num_channels])
-    else:
-        restricted = topology
-    communication = CommunicationGraph.from_topology(restricted, prr_threshold)
-    reuse = ChannelReuseGraph.from_topology(restricted)
-    access_points = pick_access_points(restricted, prr_threshold)
-    return PreparedNetwork(
-        topology=restricted, communication=communication, reuse=reuse,
-        access_points=access_points, prr_threshold=prr_threshold)
+    with timed("phase.prepare_network"):
+        if channels is not None:
+            restricted = topology.restrict_channels(list(channels))
+        elif num_channels is not None:
+            restricted = topology.restrict_channels(
+                list(topology.channel_map)[:num_channels])
+        else:
+            restricted = topology
+        communication = CommunicationGraph.from_topology(
+            restricted, prr_threshold)
+        reuse = ChannelReuseGraph.from_topology(restricted)
+        access_points = pick_access_points(restricted, prr_threshold)
+        return PreparedNetwork(
+            topology=restricted, communication=communication, reuse=reuse,
+            access_points=access_points, prr_threshold=prr_threshold)
 
 
 def make_policy(name: str, rho_t: int = DEFAULT_RHO_T) -> PlacementPolicy:
@@ -106,12 +109,13 @@ def build_workload(network: PreparedNetwork, num_flows: int,
         repro.routing.NoRouteError: If the network cannot route a flow
             (extremely sparse channel-restricted graphs).
     """
-    flow_set, access_points = generate_flow_set(
-        network.topology, network.communication, num_flows, period_range,
-        rng, access_points=network.access_points)
-    ordered = flow_set.deadline_monotonic()
-    return assign_routes(ordered, network.communication, traffic,
-                         access_points)
+    with timed("phase.build_workload"):
+        flow_set, access_points = generate_flow_set(
+            network.topology, network.communication, num_flows, period_range,
+            rng, access_points=network.access_points)
+        ordered = flow_set.deadline_monotonic()
+        return assign_routes(ordered, network.communication, traffic,
+                             access_points)
 
 
 def schedule_workload(network: PreparedNetwork, flow_set: FlowSet,
@@ -123,4 +127,5 @@ def schedule_workload(network: PreparedNetwork, flow_set: FlowSet,
         num_offsets=network.num_channels,
         reuse_graph=network.reuse,
         policy=make_policy(policy_name, rho_t))
-    return scheduler.run(flow_set)
+    with timed("phase.schedule"), timed(f"phase.schedule.{policy_name}"):
+        return scheduler.run(flow_set)

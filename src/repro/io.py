@@ -3,18 +3,21 @@
 Real deployments separate topology collection, scheduling, and
 execution in time; experiments need the same artifacts pinned to disk
 for reproducibility.  Topologies (dense numeric matrices) use ``.npz``;
-flow sets and schedules (small and structural) use JSON.
+flow sets and schedules (small and structural) use JSON.  Observability
+artifacts — metrics snapshots and trace event streams — use JSON and
+JSON Lines respectively.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Iterable, List, Union
 
 import numpy as np
 
 from repro.core.schedule import Schedule
+from repro.core.scheduler import SchedulingResult
 from repro.core.transmissions import TransmissionRequest
 from repro.flows.flow import Flow, FlowSet
 from repro.mac.channels import ChannelMap
@@ -22,6 +25,46 @@ from repro.network.node import Node, NodeRole, Position
 from repro.network.topology import Topology
 
 PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Generic JSON / JSON Lines (metrics snapshots, trace events)
+# ----------------------------------------------------------------------
+
+def save_jsonl(records: Iterable[Dict], path: PathLike) -> int:
+    """Write dict records as JSON Lines (one compact object per line).
+
+    Returns:
+        The number of records written.
+    """
+    count = 0
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: PathLike) -> List[Dict]:
+    """Read records written by :func:`save_jsonl` (blank lines skipped)."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def save_metrics(snapshot: Dict, path: PathLike) -> None:
+    """Save a :meth:`repro.obs.MetricsRegistry.snapshot` as JSON."""
+    Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+
+
+def load_metrics(path: PathLike) -> Dict:
+    """Load a metrics snapshot saved by :func:`save_metrics`."""
+    return json.loads(Path(path).read_text())
 
 
 # ----------------------------------------------------------------------
@@ -164,3 +207,38 @@ def save_schedule(schedule: Schedule, path: PathLike) -> None:
 def load_schedule(path: PathLike) -> Schedule:
     """Load a schedule saved by :func:`save_schedule`."""
     return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Scheduling results
+# ----------------------------------------------------------------------
+
+def scheduling_result_to_dict(result: SchedulingResult,
+                              include_schedule: bool = True) -> Dict:
+    """JSON-serializable form of a :class:`SchedulingResult`.
+
+    Args:
+        result: The scheduler outcome.
+        include_schedule: Also embed the (potentially large) schedule and
+            flow set; set False for compact per-run summaries.
+    """
+    payload: Dict = {
+        "schedulable": result.schedulable,
+        "policy": result.policy_name,
+        "failed_flow": result.failed_flow,
+        "failed_instance": result.failed_instance,
+        "elapsed_s": result.elapsed_s,
+        "counters": {name: value
+                     for name, value in sorted(result.counters.items())},
+    }
+    if include_schedule:
+        payload["schedule"] = schedule_to_dict(result.schedule)
+        payload["flows"] = [flow_to_dict(f) for f in result.flow_set]
+    return payload
+
+
+def save_scheduling_result(result: SchedulingResult, path: PathLike,
+                           include_schedule: bool = True) -> None:
+    """Save a scheduling result (with its counters) as JSON."""
+    Path(path).write_text(json.dumps(
+        scheduling_result_to_dict(result, include_schedule), indent=2))

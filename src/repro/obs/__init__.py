@@ -1,0 +1,66 @@
+"""Observability: metrics registry, structured tracing, profiling.
+
+The layer has three pieces:
+
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  histograms with JSON snapshot/merge (:mod:`repro.obs.metrics`);
+* :class:`Tracer` — typed events in a bounded ring buffer with JSONL
+  export (:mod:`repro.obs.trace`);
+* a process-wide :class:`Recorder` behind a module-level ``ENABLED``
+  flag (:mod:`repro.obs.recorder`), so instrumented hot paths cost one
+  attribute read when observability is off.
+
+Typical library use::
+
+    from repro import obs
+
+    with obs.recording() as rec:
+        result = schedule_workload(network, flows, "RC")
+    print(obs.format_report(rec.snapshot()))
+
+From the CLI, ``--trace FILE`` / ``--metrics-out FILE`` enable the same
+machinery, and ``python -m repro report FILE`` renders a saved snapshot.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SMALL_INT_BUCKETS,
+    TIME_BUCKETS_S,
+)
+from repro.obs.profiling import span, timed
+from repro.obs.recorder import (
+    NullRecorder,
+    Recorder,
+    disable,
+    enable,
+    get_recorder,
+    is_enabled,
+    recording,
+)
+from repro.obs.report import format_report
+from repro.obs.trace import DEFAULT_CAPACITY, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Recorder",
+    "SMALL_INT_BUCKETS",
+    "TIME_BUCKETS_S",
+    "TraceEvent",
+    "Tracer",
+    "disable",
+    "enable",
+    "format_report",
+    "get_recorder",
+    "is_enabled",
+    "recording",
+    "span",
+    "timed",
+]

@@ -1,0 +1,67 @@
+"""Lightweight profiling scopes built on the recorder.
+
+Both helpers use monotonic clocks (``time.perf_counter``) and resolve
+the recorder once at scope entry; with observability disabled they yield
+immediately and record nothing, so wrapping experiment phases in
+``timed()`` is free in production runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs import recorder as _runtime
+from repro.obs.metrics import TIME_BUCKETS_S
+from repro.obs.recorder import Recorder
+
+
+def _resolve(recorder: Optional[Recorder]):
+    """Explicit recorder, else the live one, else None (disabled)."""
+    if recorder is not None:
+        return recorder
+    return _runtime.RECORDER if _runtime.ENABLED else None
+
+
+@contextmanager
+def timed(name: str, recorder: Optional[Recorder] = None) -> Iterator[None]:
+    """Accumulate wall time for ``name`` into the metrics registry.
+
+    Records three metrics per name: ``time.<name>.calls`` (counter),
+    ``time.<name>.total_s`` (float counter), and ``time.<name>.seconds``
+    (duration histogram).
+    """
+    rec = _resolve(recorder)
+    if rec is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        rec.count(f"time.{name}.calls")
+        rec.count(f"time.{name}.total_s", elapsed)
+        rec.observe(f"time.{name}.seconds", elapsed, TIME_BUCKETS_S)
+
+
+@contextmanager
+def span(name: str, recorder: Optional[Recorder] = None,
+         **fields) -> Iterator[None]:
+    """Emit a ``phase`` trace event carrying the scope's duration.
+
+    Use for one-off scopes whose individual durations matter (e.g. each
+    sweep point); use :func:`timed` when only aggregates are needed.
+    """
+    rec = _resolve(recorder)
+    if rec is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        rec.event("phase", name=name,
+                  duration_s=round(elapsed, 9), **fields)

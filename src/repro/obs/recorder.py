@@ -1,0 +1,137 @@
+"""The process-wide recorder: metrics + trace behind one enabled flag.
+
+Hot paths are instrumented with the idiom::
+
+    from repro.obs import recorder as _obs
+    ...
+    if _obs.ENABLED:
+        _obs.RECORDER.count("scheduler.placements")
+        _obs.RECORDER.event("placement", flow=flow_id, slot=slot)
+
+``ENABLED`` is a module-level boolean, so the disabled cost of an
+instrumentation site is a single attribute read — no isinstance checks,
+no method dispatch into a null object.  ``RECORDER`` is only consulted
+after the flag passes, and defaults to a :class:`NullRecorder` so code
+that skips the flag check (cold paths, tests) still can't crash.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry, SMALL_INT_BUCKETS
+from repro.obs.trace import Tracer
+
+
+class Recorder:
+    """Bundles a :class:`MetricsRegistry` and a :class:`Tracer`."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name``."""
+        self.registry.inc(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``."""
+        self.registry.set_gauge(name, value)
+
+    def observe(self, name: str, value: float,
+                buckets=SMALL_INT_BUCKETS) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.registry.observe(name, value, buckets)
+
+    def event(self, kind: str, **fields) -> None:
+        """Emit a structured trace event."""
+        self.tracer.emit(kind, **fields)
+
+    def snapshot(self) -> Dict:
+        """JSON-serializable metrics snapshot."""
+        return self.registry.snapshot()
+
+
+class NullRecorder:
+    """Recorder with every write a no-op (the disabled default)."""
+
+    #: Shared empty registry/tracer so reads don't need guards either.
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(capacity=1)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Discard."""
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Discard."""
+
+    def observe(self, name: str, value: float,
+                buckets=SMALL_INT_BUCKETS) -> None:
+        """Discard."""
+
+    def event(self, kind: str, **fields) -> None:
+        """Discard."""
+
+    def snapshot(self) -> Dict:
+        """An empty snapshot."""
+        return self.registry.snapshot()
+
+
+#: Module-level fast-path flag.  Instrumentation sites read this (and
+#: nothing else) before touching :data:`RECORDER`.
+ENABLED: bool = False
+
+#: The process-wide recorder.  A NullRecorder whenever ``ENABLED`` is
+#: False, so unguarded writes stay harmless.
+RECORDER = NullRecorder()
+
+
+def enable(recorder: Optional[Recorder] = None) -> Recorder:
+    """Turn observability on, installing (or creating) a live recorder.
+
+    Returns:
+        The installed :class:`Recorder`.
+    """
+    global ENABLED, RECORDER
+    RECORDER = recorder if recorder is not None else Recorder()
+    ENABLED = True
+    return RECORDER
+
+
+def disable() -> None:
+    """Turn observability off and drop the live recorder."""
+    global ENABLED, RECORDER
+    ENABLED = False
+    RECORDER = NullRecorder()
+
+
+def is_enabled() -> bool:
+    """Whether a live recorder is installed."""
+    return ENABLED
+
+
+def get_recorder():
+    """The current recorder (a :class:`NullRecorder` when disabled)."""
+    return RECORDER
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Scope observability to a ``with`` block, restoring prior state.
+
+    The primary entry point for tests and library callers::
+
+        with obs.recording() as rec:
+            scheduler.run(flow_set)
+        snapshot = rec.snapshot()
+    """
+    global ENABLED, RECORDER
+    previous = (ENABLED, RECORDER)
+    installed = enable(recorder)
+    try:
+        yield installed
+    finally:
+        ENABLED, RECORDER = previous

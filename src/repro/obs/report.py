@@ -1,0 +1,139 @@
+"""Human-readable rendering of a metrics snapshot.
+
+Backs the ``python -m repro report`` command: takes the JSON snapshot
+written by ``--metrics-out`` (optionally plus a trace written by
+``--trace``) and prints the quantities the paper's evaluation cares
+about — placements per policy, RC's reuse-fallback histogram, simulator
+attempt/success totals, and wall time per phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def _fmt(value: float) -> str:
+    """Integer-looking floats print as integers."""
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _policy_table(counters: Dict[str, float]) -> List[str]:
+    policies = sorted({name.split(".")[1] for name in counters
+                       if name.startswith("policy.")})
+    if not policies:
+        return []
+    lines = ["policies:",
+             f"  {'policy':>8} {'runs':>6} {'sched':>6} {'unsched':>8} "
+             f"{'placements':>11} {'reused':>7}"]
+    for policy in policies:
+        def get(key: str) -> str:
+            return _fmt(counters.get(f"policy.{policy}.{key}", 0))
+        lines.append(
+            f"  {policy:>8} {get('runs'):>6} {get('schedulable'):>6} "
+            f"{get('unschedulable'):>8} {get('placements'):>11} "
+            f"{get('reuse_placements'):>7}")
+    return lines
+
+
+def _histogram_lines(title: str, data: Dict) -> List[str]:
+    lines = [title]
+    bounds = data["buckets"]
+    labels = [f"<={_fmt(b)}" for b in bounds] + [f">{_fmt(bounds[-1])}"]
+    for label, count in zip(labels, data["counts"]):
+        if count:
+            lines.append(f"  {label:>10}: {count}")
+    mean = data["sum"] / data["count"] if data["count"] else None
+    if mean is not None:
+        lines.append(f"  count {data['count']}, mean {mean:.3f}, "
+                     f"min {_fmt(data['min'])}, max {_fmt(data['max'])}")
+    return lines
+
+
+def _phase_table(counters: Dict[str, float]) -> List[str]:
+    names = sorted({name[len("time."):-len(".calls")]
+                    for name in counters
+                    if name.startswith("time.") and name.endswith(".calls")})
+    if not names:
+        return []
+    lines = ["wall time per phase:",
+             f"  {'phase':<28} {'calls':>7} {'total s':>9} {'mean ms':>9}"]
+    for name in names:
+        calls = counters.get(f"time.{name}.calls", 0)
+        total = counters.get(f"time.{name}.total_s", 0.0)
+        mean_ms = 1000.0 * total / calls if calls else 0.0
+        lines.append(f"  {name:<28} {_fmt(calls):>7} {total:>9.3f} "
+                     f"{mean_ms:>9.2f}")
+    return lines
+
+
+def format_report(snapshot: Dict,
+                  trace_kind_counts: Optional[Dict[str, int]] = None) -> str:
+    """Render a metrics snapshot (and optional trace summary) as text."""
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    sections: List[List[str]] = []
+
+    scheduler_keys = [
+        ("slots scanned", "scheduler.slots_scanned"),
+        ("placement attempts (findSlot)", "scheduler.placements_tried"),
+        ("placements", "scheduler.placements"),
+        ("reuse placements", "scheduler.reuse_placements"),
+        ("rejections", "scheduler.rejections"),
+        ("RC laxity triggers", "rc.laxity_triggers"),
+        ("RC reuse fallback steps", "rc.reuse_fallbacks"),
+    ]
+    lines = [f"  {label:<30} {_fmt(counters[key]):>12}"
+             for label, key in scheduler_keys if key in counters]
+    if lines:
+        sections.append(["scheduler:"] + lines)
+
+    policy_lines = _policy_table(counters)
+    if policy_lines:
+        sections.append(policy_lines)
+
+    if "rc.fallback_rho" in histograms:
+        sections.append(_histogram_lines(
+            "RC reuse-fallback histogram (final rho):",
+            histograms["rc.fallback_rho"]))
+
+    if "sim.attempts" in counters:
+        attempts = counters["sim.attempts"]
+        successes = counters.get("sim.successes", 0)
+        rate = successes / attempts if attempts else 0.0
+        sections.append([
+            "simulator:",
+            f"  {'repetitions':<30} "
+            f"{_fmt(counters.get('sim.repetitions', 0)):>12}",
+            f"  {'link attempts':<30} {_fmt(attempts):>12}",
+            f"  {'link successes':<30} {_fmt(successes):>12}",
+            f"  {'attempt success rate':<30} {rate:>12.4f}",
+            f"  {'e2e deliveries':<30} "
+            f"{_fmt(counters.get('sim.deliveries', 0)):>12}",
+        ])
+
+    detection_keys = [(name.split(".")[-1], name) for name in sorted(counters)
+                      if name.startswith("detection.verdict.")]
+    if "detection.ks_tests" in counters or detection_keys:
+        lines = ["detection:",
+                 f"  {'K-S tests run':<30} "
+                 f"{_fmt(counters.get('detection.ks_tests', 0)):>12}"]
+        for label, key in detection_keys:
+            lines.append(f"  {'verdict ' + label:<30} "
+                         f"{_fmt(counters[key]):>12}")
+        sections.append(lines)
+
+    phase_lines = _phase_table(counters)
+    if phase_lines:
+        sections.append(phase_lines)
+
+    if trace_kind_counts is not None:
+        lines = ["trace events by kind:"]
+        for kind in sorted(trace_kind_counts):
+            lines.append(f"  {kind:<30} {trace_kind_counts[kind]:>12}")
+        sections.append(lines)
+
+    if not sections:
+        return "(empty metrics snapshot)"
+    return "\n\n".join("\n".join(section) for section in sections)

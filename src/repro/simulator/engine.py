@@ -23,6 +23,8 @@ import numpy as np
 from repro.core.schedule import Schedule
 from repro.flows.flow import FlowSet
 from repro.mac.channels import ChannelMap
+from repro.obs import recorder as _obs
+from repro.obs.profiling import timed as _timed
 from repro.simulator.interference import WifiInterferer
 from repro.propagation.prr_model import get_prr_curve
 from repro.simulator.radio import sinr_at_receiver
@@ -171,6 +173,10 @@ class TschSimulator:
         """
         if repetitions <= 0:
             raise ValueError("repetitions must be positive")
+        with _timed("phase.simulate"):
+            return self._run(repetitions)
+
+    def _run(self, repetitions: int) -> SimulationStats:
         rng = np.random.default_rng(self.config.seed)
         stats = SimulationStats()
         sorted_slots = sorted(self._compiled)
@@ -185,6 +191,11 @@ class TschSimulator:
             record = stats.start_repetition()
             progress: Dict[Tuple[int, int], int] = {}
             slow_fading: Dict[Tuple[int, int], float] = {}
+            # Per-repetition tallies for the observability layer; plain
+            # local ints so the disabled path costs nothing measurable.
+            recorder = _obs.RECORDER if _obs.ENABLED else None
+            rep_attempts = rep_successes = rep_deliveries = 0
+            link_outcomes: Dict[Tuple[int, int], List[int]] = {}
 
             def pair_drift(a: int, b: int) -> float:
                 """Per-repetition slow fading for an (unordered) node pair."""
@@ -249,9 +260,30 @@ class TschSimulator:
                         success = rng.random() < self._lookup(sinr)
                         record.record((entry.sender, entry.receiver),
                                       entry.shared_cell, success)
+                        if recorder is not None:
+                            rep_attempts += 1
+                            rep_successes += success
+                            tally = link_outcomes.setdefault(
+                                (entry.sender, entry.receiver), [0, 0])
+                            tally[0] += 1
+                            tally[1] += success
                         if success:
                             key = (entry.flow_id, entry.instance)
                             progress[key] = entry.hop_index + 1
                             if progress[key] == self._flow_hops[entry.flow_id]:
                                 stats.record_delivery(entry.flow_id)
+                                if recorder is not None:
+                                    rep_deliveries += 1
+
+            if recorder is not None:
+                recorder.count("sim.repetitions")
+                recorder.count("sim.attempts", rep_attempts)
+                recorder.count("sim.successes", rep_successes)
+                recorder.count("sim.deliveries", rep_deliveries)
+                recorder.event(
+                    "sim_repetition", repetition=repetition,
+                    attempts=rep_attempts, successes=rep_successes,
+                    deliveries=rep_deliveries,
+                    links={f"{s}->{r}": counts for (s, r), counts
+                           in sorted(link_outcomes.items())})
         return stats

@@ -144,3 +144,60 @@ class TestCli:
     def test_unknown_testbed_rejected(self):
         with pytest.raises(SystemExit):
             main(["topology", "--testbed", "mars"])
+
+    def test_seed_round_trip_is_reproducible(self, capsys):
+        args = ["sweep", "--testbed", "wustl", "--values", "4",
+                "--flows", "15", "--flow-sets", "2", "--seed", "123"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_seed_changes_testbed(self, capsys):
+        base = ["topology", "--testbed", "wustl", "--channels", "4"]
+        assert main(base + ["--seed", "1"]) == 0
+        seeded = capsys.readouterr().out
+        assert main(base + ["--seed", "2"]) == 0
+        reseeded = capsys.readouterr().out
+        assert seeded != reseeded
+
+
+class TestCliObservability:
+    def test_sweep_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro import obs
+        from repro.io import load_jsonl, load_metrics
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(["sweep", "--testbed", "wustl", "--values", "4",
+                     "--flows", "15", "--flow-sets", "1", "--seed", "7",
+                     "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        assert not obs.is_enabled()  # CLI restores the disabled default
+
+        events = load_jsonl(trace)
+        kinds = {event["kind"] for event in events}
+        assert "placement" in kinds
+
+        snapshot = load_metrics(metrics)
+        counters = snapshot["counters"]
+        assert counters["scheduler.placements"] > 0
+        for policy in ("NR", "RA", "RC"):
+            assert counters[f"policy.{policy}.runs"] == 1
+        assert "time.phase.schedule.calls" in counters
+
+    def test_report_command(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.jsonl"
+        assert main(["sweep", "--testbed", "wustl", "--values", "4",
+                     "--flows", "15", "--flow-sets", "1", "--seed", "7",
+                     "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(metrics), "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler:" in out
+        assert "policies:" in out
+        assert "wall time per phase:" in out
+        assert "trace events by kind:" in out
