@@ -1,0 +1,248 @@
+"""Tracked benchmark harness: ``python -m repro bench``.
+
+Times the NR / RA / RC schedulers on fixed, seeded Figure-1-style
+workloads (Indriya testbed, 5 channels, centralized traffic) under both
+placement kernels, and times a small schedulability sweep at one and
+several worker processes.  Results land in ``BENCH_schedulers.json`` so
+kernel and parallelism changes leave an auditable performance trail in
+the repository.
+
+Methodology:
+
+* Wall times are best-of-``repetitions`` with observability *disabled*
+  (the vector kernel's fused RC path only engages with obs off, and the
+  scalar path should not pay tracing costs either).
+* Work counters (placements, slots scanned) come from one separate
+  instrumented pass per configuration — identical work, so the counters
+  pair exactly with the timed runs.
+* The scalar and vector kernels are verified to produce identical
+  schedules on every workload before timing them; the benchmark aborts
+  loudly if they diverge.
+* The parallel-sweep section reports the machine's CPU count next to
+  its timings: on a single-core host ``workers > 1`` cannot win and the
+  numbers record exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core import kernel as _kernel
+from repro.experiments.common import (
+    POLICY_NAMES,
+    build_workload,
+    prepare_network,
+    schedule_workload,
+)
+from repro.experiments.schedulability import run_sweep
+from repro.flows.generator import PeriodRange
+from repro.routing.traffic import TrafficType
+
+#: Default output file, tracked in the repository.
+DEFAULT_OUT = "BENCH_schedulers.json"
+
+#: Figure-1-style workload sizes (flows on 5 channels, centralized).
+FULL_FLOW_COUNTS = (30, 50, 70)
+QUICK_FLOW_COUNTS = (20,)
+
+
+def _workloads(flow_counts: Sequence[int], seed: int):
+    """Build the fixed benchmark workloads (one flow set per size)."""
+    from repro.testbeds import make_indriya
+
+    topology, _ = make_indriya()
+    network = prepare_network(topology, num_channels=5)
+    workloads = []
+    for num_flows in flow_counts:
+        rng = np.random.default_rng(seed)
+        flow_set = build_workload(network, num_flows, PeriodRange(0, 4),
+                                  TrafficType.CENTRALIZED, rng)
+        workloads.append((num_flows, flow_set))
+    return network, workloads
+
+
+def _placements_of(result) -> List[tuple]:
+    """Schedule as a comparable list (slot, offset, sender, receiver)."""
+    if not result.schedulable or result.schedule is None:
+        return []
+    return [(e.slot, e.offset, e.request.sender, e.request.receiver)
+            for e in result.schedule.entries]
+
+
+def _time_run(network, flow_set, policy: str, kernel: str,
+              repetitions: int) -> Dict:
+    """Best-of-N wall time plus one instrumented pass for work counters."""
+    with _kernel.kernel_mode(kernel):
+        best_s = float("inf")
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            result = schedule_workload(network, flow_set, policy)
+            best_s = min(best_s, time.perf_counter() - start)
+        with obs.recording() as recorder:
+            schedule_workload(network, flow_set, policy)
+        counters = recorder.snapshot()["counters"]
+    placements = counters.get("scheduler.placements", 0)
+    return {
+        "wall_s": best_s,
+        "schedulable": result.schedulable,
+        "placements": int(placements),
+        "slots_scanned": int(counters.get("scheduler.slots_scanned", 0)),
+        "placements_per_s": (placements / best_s) if best_s > 0 else None,
+        "signature": _placements_of(result),
+    }
+
+
+def bench_schedulers(flow_counts: Sequence[int], seed: int,
+                     repetitions: int) -> List[Dict]:
+    """Scalar-vs-vector timings for every (flow count, policy) pair."""
+    network, workloads = _workloads(flow_counts, seed)
+    rows: List[Dict] = []
+    for num_flows, flow_set in workloads:
+        for policy in POLICY_NAMES:
+            row: Dict = {"num_flows": num_flows, "policy": policy}
+            signatures = {}
+            for kernel in (_kernel.KERNEL_SCALAR, _kernel.KERNEL_VECTOR):
+                timing = _time_run(network, flow_set, policy, kernel,
+                                   repetitions)
+                signatures[kernel] = timing.pop("signature")
+                row[kernel] = timing
+            if signatures[_kernel.KERNEL_SCALAR] != \
+                    signatures[_kernel.KERNEL_VECTOR]:
+                raise AssertionError(
+                    f"kernel divergence: {policy} at {num_flows} flows "
+                    "produced different schedules under the scalar and "
+                    "vector kernels")
+            scalar_s = row[_kernel.KERNEL_SCALAR]["wall_s"]
+            vector_s = row[_kernel.KERNEL_VECTOR]["wall_s"]
+            row["speedup"] = scalar_s / vector_s if vector_s > 0 else None
+            rows.append(row)
+    return rows
+
+
+def bench_sweep_workers(seed: int, quick: bool,
+                        worker_counts: Sequence[int] = (1, 4)) -> Dict:
+    """Time one small sweep at several worker counts; verify invariance."""
+    from repro.testbeds import make_indriya
+
+    topology, _ = make_indriya()
+    values = [4, 5] if quick else [3, 4, 5]
+    num_flow_sets = 2 if quick else 6
+    timings: Dict[str, float] = {}
+    reference = None
+    for workers in worker_counts:
+        start = time.perf_counter()
+        result = run_sweep(topology, TrafficType.CENTRALIZED, "channels",
+                           values, fixed_flows=20,
+                           num_flow_sets=num_flow_sets, seed=seed,
+                           workers=workers)
+        timings[str(workers)] = time.perf_counter() - start
+        outcomes = [(o.x, o.set_index, o.policy, o.schedulable)
+                    for o in result.outcomes]
+        if reference is None:
+            reference = outcomes
+        elif outcomes != reference:
+            raise AssertionError(
+                f"sweep outcomes at workers={workers} differ from "
+                f"workers={worker_counts[0]}")
+    base = timings[str(worker_counts[0])]
+    return {
+        "vary": "channels", "values": values,
+        "num_flow_sets": num_flow_sets, "fixed_flows": 20,
+        "wall_s_by_workers": timings,
+        "speedup_vs_serial": {
+            w: (base / t if t > 0 else None)
+            for w, t in timings.items()},
+        "outcomes_identical": True,
+    }
+
+
+def run_bench(out: str = DEFAULT_OUT, *, quick: bool = False,
+              seed: int = 1, repetitions: Optional[int] = None) -> Dict:
+    """Run the full benchmark and write the JSON report.
+
+    Args:
+        out: Report path (``-`` skips writing).
+        quick: CI smoke mode — one small workload, one repetition.
+        seed: Workload seed (fixed so runs are comparable over time).
+        repetitions: Timed repetitions per configuration (best-of);
+            defaults to 1 in quick mode and 3 otherwise.
+
+    Returns:
+        The report dict.
+    """
+    if repetitions is None:
+        repetitions = 1 if quick else 3
+    flow_counts = QUICK_FLOW_COUNTS if quick else FULL_FLOW_COUNTS
+    report = {
+        "benchmark": "repro.bench",
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "repetitions": repetitions,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "workload": {
+            "testbed": "indriya", "channels": 5,
+            "traffic": "centralized", "period_range": [0, 4],
+            "flow_counts": list(flow_counts),
+        },
+        "schedulers": bench_schedulers(flow_counts, seed, repetitions),
+        "sweep_workers": bench_sweep_workers(seed, quick),
+    }
+    speedups = {(row["num_flows"], row["policy"]): row["speedup"]
+                for row in report["schedulers"]}
+    rc_speedups = [v for (_, policy), v in speedups.items()
+                   if policy == "RC" and v is not None]
+    report["headline"] = {
+        "rc_max_speedup": max(rc_speedups) if rc_speedups else None,
+        "rc_speedups_by_flows": {
+            str(flows): v for (flows, policy), v in sorted(speedups.items())
+            if policy == "RC"},
+    }
+    if out != "-":
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return report
+
+
+def format_bench(report: Dict) -> str:
+    """Human-readable summary of a benchmark report."""
+    lines = [
+        f"repro bench ({report['mode']}, seed={report['seed']}, "
+        f"best of {report['repetitions']}, "
+        f"cpus={report['environment']['cpu_count']})",
+        f"{'flows':>6} {'policy':>7} {'scalar':>10} {'vector':>10} "
+        f"{'speedup':>8} {'placements':>11} {'slots/plc':>10}",
+    ]
+    for row in report["schedulers"]:
+        scalar = row["scalar"]
+        vector = row["vector"]
+        scanned = (scalar["slots_scanned"] / scalar["placements"]
+                   if scalar["placements"] else 0.0)
+        lines.append(
+            f"{row['num_flows']:>6} {row['policy']:>7} "
+            f"{1000 * scalar['wall_s']:>8.1f}ms {1000 * vector['wall_s']:>8.1f}ms "
+            f"{row['speedup']:>7.2f}x {scalar['placements']:>11} "
+            f"{scanned:>10.2f}")
+    sweep = report["sweep_workers"]
+    walls = "  ".join(f"workers={w}: {t:.2f}s"
+                      for w, t in sweep["wall_s_by_workers"].items())
+    lines.append(f"sweep ({len(sweep['values'])} points x "
+                 f"{sweep['num_flow_sets']} sets): {walls} "
+                 f"(outcomes identical: {sweep['outcomes_identical']})")
+    headline = report["headline"]
+    if headline["rc_max_speedup"] is not None:
+        lines.append(f"headline: RC vector kernel up to "
+                     f"{headline['rc_max_speedup']:.2f}x over scalar")
+    return "\n".join(lines)

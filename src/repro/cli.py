@@ -7,7 +7,12 @@ a shell without writing Python:
 * ``sweep`` — schedulable-ratio sweep (Figures 1-3);
 * ``reliability`` — scheduled-then-simulated PDR comparison (Figure 8);
 * ``detection`` — K-S detection experiment (Figures 10-11);
+* ``bench`` — scheduler kernel benchmark (writes BENCH_schedulers.json);
 * ``report`` — pretty-print a saved metrics snapshot.
+
+Experiment commands accept ``--workers N`` to fan independent trials
+over N worker processes (0 = all CPUs) with results identical to a
+serial run.
 
 Every experiment command accepts ``--trace FILE`` (structured JSONL
 event trace) and ``--metrics-out FILE`` (metrics snapshot JSON); either
@@ -75,7 +80,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         topology, traffic, vary=args.vary, values=args.values,
         fixed_channels=args.channels, fixed_flows=args.flows,
         period_range=PeriodRange(args.period_min_exp, args.period_max_exp),
-        num_flow_sets=args.flow_sets, seed=args.seed or 0)
+        num_flow_sets=args.flow_sets, seed=args.seed or 0,
+        workers=args.workers)
     ratios = result.schedulable_ratios()
     print(f"schedulable ratio vs {args.vary} ({args.traffic}, "
           f"{args.flow_sets} flow sets/point):")
@@ -90,7 +96,8 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     topology, environment = _make_testbed(args.testbed, args.seed)
     outcomes = run_reliability(
         topology, environment, num_flow_sets=args.flow_sets,
-        repetitions=args.repetitions, seed=args.seed or 0)
+        repetitions=args.repetitions, seed=args.seed or 0,
+        workers=args.workers)
     print(f"{'set':>4} {'policy':>7} {'median':>7} {'worst':>7}")
     for outcome in outcomes:
         if not outcome.schedulable:
@@ -106,7 +113,8 @@ def cmd_detection(args: argparse.Namespace) -> int:
     topology, environment = _make_testbed(args.testbed, args.seed)
     outcomes = run_detection(
         topology, environment, _plan_for(args.testbed),
-        num_flows=args.flows, num_epochs=args.epochs, seed=args.seed or 0)
+        num_flows=args.flows, num_epochs=args.epochs,
+        seed=args.seed or 0, workers=args.workers)
     for outcome in outcomes:
         rejected = outcome.rejected_links()
         accepted = outcome.accepted_links()
@@ -115,6 +123,17 @@ def cmd_detection(args: argparse.Namespace) -> int:
               f"rejected {len(rejected)}, accepted {len(accepted)}")
         for link in rejected:
             print(f"  reuse-degraded: {link}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import format_bench, run_bench
+
+    report = run_bench(args.out, quick=args.quick, seed=args.seed or 1,
+                       repetitions=args.repetitions)
+    print(format_bench(report))
+    if args.out != "-":
+        print(f"report -> {args.out}")
     return 0
 
 
@@ -149,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a structured event trace (JSONL)")
         p.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write a metrics snapshot (JSON)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for trial fan-out "
+                            "(0 = all CPUs)")
 
     p = sub.add_parser("topology", help="synthesize and inspect a testbed")
     common(p)
@@ -186,6 +208,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flows", type=int, default=80)
     p.add_argument("--epochs", type=int, default=3)
     p.set_defaults(func=cmd_detection)
+
+    p = sub.add_parser("bench", help="scheduler kernel benchmark")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: one small workload, one repetition")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--repetitions", type=int, default=None,
+                   help="timed repetitions per configuration (best-of)")
+    p.add_argument("--out", default="BENCH_schedulers.json",
+                   help="report path ('-' to skip writing)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("report", help="pretty-print a metrics snapshot")
     p.add_argument("metrics", help="metrics JSON written by --metrics-out")

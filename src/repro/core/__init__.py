@@ -5,11 +5,26 @@ from repro.core.constraints import (
     NO_REUSE,
     conflicts_in_slot,
     feasible_offsets,
+    feasible_offsets_scalar,
     offset_satisfies_channel_constraint,
     placement_is_valid,
     validate_schedule,
 )
-from repro.core.laxity import calculate_laxity, conflict_slots_for
+from repro.core.kernel import (
+    KERNEL_SCALAR,
+    KERNEL_VECTOR,
+    active_kernel,
+    best_reuse_distance,
+    kernel_mode,
+    min_reuse_distance,
+    prepare_links,
+    set_kernel,
+)
+from repro.core.laxity import (
+    calculate_laxity,
+    calculate_laxity_scalar,
+    conflict_slots_for,
+)
 from repro.core.nr import NoReusePolicy
 from repro.core.ra import AggressiveReusePolicy, DEFAULT_RHO_T
 from repro.core.reschedule import (
@@ -33,6 +48,7 @@ from repro.core.scheduler import (
 )
 from repro.core.transmissions import (
     ATTEMPTS_PER_LINK,
+    RequestWindow,
     TransmissionRequest,
     expand_instance,
 )
@@ -43,12 +59,15 @@ __all__ = [
     "ConservativeReusePolicy",
     "DEFAULT_RHO_T",
     "FixedPriorityScheduler",
+    "KERNEL_SCALAR",
+    "KERNEL_VECTOR",
     "NO_REUSE",
     "NoReusePolicy",
     "OFFSET_FIRST",
     "OFFSET_LEAST_LOADED",
     "PlacementPolicy",
     "RHO_RESET_FLOW",
+    "RequestWindow",
     "ReuseBarrierPolicy",
     "links_sharing_cells_with",
     "reschedule_without_reuse_on",
@@ -57,13 +76,21 @@ __all__ = [
     "ScheduledTransmission",
     "SchedulingResult",
     "TransmissionRequest",
+    "active_kernel",
+    "best_reuse_distance",
     "calculate_laxity",
+    "calculate_laxity_scalar",
     "conflict_slots_for",
     "conflicts_in_slot",
     "expand_instance",
     "feasible_offsets",
+    "feasible_offsets_scalar",
     "find_slot",
+    "kernel_mode",
+    "min_reuse_distance",
+    "set_kernel",
     "offset_satisfies_channel_constraint",
     "placement_is_valid",
+    "prepare_links",
     "validate_schedule",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import List, Optional
 
+from repro.core import kernel as _kernel
 from repro.core.schedule import Schedule
 from repro.network.graphs import ChannelReuseGraph
 
@@ -57,16 +58,35 @@ def offset_satisfies_channel_constraint(schedule: Schedule,
     return True
 
 
+def feasible_offsets_scalar(schedule: Schedule,
+                            reuse_graph: ChannelReuseGraph,
+                            sender: int, receiver: int, slot: int,
+                            rho: float) -> List[int]:
+    """Scalar reference implementation of :func:`feasible_offsets`.
+
+    Checks one offset, one occupant at a time; retained as the oracle
+    the vectorized kernel is tested against (and as the pre-PR baseline
+    ``repro bench`` times).
+    """
+    return [offset for offset in range(schedule.num_offsets)
+            if offset_satisfies_channel_constraint(
+                schedule, reuse_graph, sender, receiver, slot, offset, rho)]
+
+
 def feasible_offsets(schedule: Schedule, reuse_graph: ChannelReuseGraph,
                      sender: int, receiver: int, slot: int,
                      rho: float) -> List[int]:
     """All channel offsets satisfying the channel constraint in a slot.
 
     Assumes the transmission-conflict check for the slot already passed.
+    Dispatches to the vectorized kernel unless the scalar reference is
+    selected (see :mod:`repro.core.kernel`).
     """
-    return [offset for offset in range(schedule.num_offsets)
-            if offset_satisfies_channel_constraint(
-                schedule, reuse_graph, sender, receiver, slot, offset, rho)]
+    if _kernel.active_kernel() == _kernel.KERNEL_SCALAR:
+        return feasible_offsets_scalar(
+            schedule, reuse_graph, sender, receiver, slot, rho)
+    return _kernel.feasible_offsets_vector(
+        schedule, reuse_graph, sender, receiver, slot, rho)
 
 
 def placement_is_valid(schedule: Schedule, reuse_graph: ChannelReuseGraph,

@@ -23,6 +23,10 @@ class NoReusePolicy:
 
     name = "NR"
 
+    #: NR never consults reuse distances; the engine skips maintaining
+    #: the kernel's per-link distance stacks for it.
+    uses_reuse = False
+
     def start_flow(self, flow: Flow) -> None:
         """No per-flow state."""
 

@@ -21,12 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core import kernel as _kernel
 from repro.core.constraints import NO_REUSE
 from repro.core.laxity import calculate_laxity
 from repro.core.ra import DEFAULT_RHO_T
 from repro.core.schedule import Schedule
-from repro.core.scheduler import OFFSET_LEAST_LOADED, find_slot
-from repro.core.transmissions import TransmissionRequest
+from repro.core.scheduler import OFFSET_FIRST, OFFSET_LEAST_LOADED, find_slot
+from repro.core.transmissions import RequestWindow, TransmissionRequest
 from repro.flows.flow import Flow
 from repro.network.graphs import ChannelReuseGraph
 from repro.obs import recorder as _obs
@@ -64,6 +67,10 @@ class ConservativeReusePolicy:
     offset_rule: str = OFFSET_LEAST_LOADED
     name: str = "RC"
     _rho: float = field(default=NO_REUSE, repr=False)
+    # Fused-path heuristic: did the previous placement descend past its
+    # first probe?  Contention is bursty, so the last placement predicts
+    # whether the O(1)-per-probe laxity table will pay for itself.
+    _table_hint: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.rho_t < 1:
@@ -88,6 +95,11 @@ class ConservativeReusePolicy:
         laxity estimate is conservative); the engine rejects it only if
         it misses the deadline — which ``findSlot`` already enforces.
         """
+        if not _obs.ENABLED and \
+                _kernel.active_kernel() == _kernel.KERNEL_VECTOR:
+            return self._place_fused(schedule, reuse_graph, request,
+                                     earliest, remaining)
+
         if self.rho_reset == RHO_RESET_TRANSMISSION:
             self._rho = NO_REUSE
         rho = self._rho
@@ -152,3 +164,147 @@ class ConservativeReusePolicy:
         else:
             self._rho = NO_REUSE
         return best
+
+    def _place_fused(self, schedule: Schedule,
+                     reuse_graph: ChannelReuseGraph,
+                     request: TransmissionRequest, earliest: int,
+                     remaining: Sequence[TransmissionRequest],
+                     ) -> Optional[Tuple[int, int]]:
+        """Algorithm 1's whole ρ descent against precomputed windows.
+
+        The stepwise loop above re-runs ``findSlot`` and
+        ``calculateLaxity`` at every ρ; with the vectorized kernel the
+        per-call work is tiny but the call overhead is not.  This path
+        (taken when observability is off, so no per-call events need
+        firing) evaluates each ρ probe against the kernel's
+        incrementally-maintained best-distance view: one running maximum
+        per placement, then a single ``searchsorted`` per ρ.  Laxity is
+        evaluated directly for the first probe (the common immediate
+        accept); if the descent continues, Equation 1 becomes a
+        suffix-cumsum lookup so every further probe costs O(1).
+        Placements are identical to the stepwise loop: both pick the
+        earliest feasible slot per ρ and descend under the same laxity
+        rule.
+        """
+        if self.rho_reset == RHO_RESET_TRANSMISSION:
+            self._rho = NO_REUSE
+        rho = self._rho
+        rho_t = self.rho_t
+        deadline = request.deadline_slot
+
+        if earliest > deadline:
+            # Every findSlot probe misses; the descent runs dry.  Mirror
+            # the stepwise loop's exit ρ for the flow-scoped reset.
+            if rho == NO_REUSE:
+                next_rho = reuse_graph.diameter()
+                rho = next_rho if next_rho < rho_t else rho_t - 1
+            else:
+                rho = rho_t - 1
+            self._rho = (max(rho, rho_t)
+                         if self.rho_reset == RHO_RESET_FLOW else NO_REUSE)
+            return None
+
+        sender, receiver = request.sender, request.receiver
+        width = deadline - earliest + 1
+        n_rem = len(remaining)
+        if n_rem:
+            if isinstance(remaining, RequestWindow):
+                senders = remaining.senders
+                receivers = remaining.receivers
+            else:
+                senders = np.fromiter((r.sender for r in remaining),
+                                      dtype=np.intp, count=n_rem)
+                receivers = np.fromiter((r.receiver for r in remaining),
+                                        dtype=np.intp, count=n_rem)
+        probes = 0            # laxity evaluations so far
+        lax = None            # Eq. 1 lookup, built on the second probe
+        prefix = None         # running max of best eligible distance
+
+        best_slot: Optional[int] = None
+        best_rho = rho
+        while rho >= rho_t:
+            found_slot = None
+            if rho == NO_REUSE:
+                free = schedule.nr_candidate_slots(sender, receiver,
+                                                   earliest, deadline)
+                rel = int(free.argmax())
+                if free[rel]:
+                    found_slot = earliest + rel
+            else:
+                if prefix is None:
+                    if self.offset_rule not in (OFFSET_FIRST,
+                                                OFFSET_LEAST_LOADED):
+                        raise ValueError(
+                            f"unknown offset rule: {self.offset_rule}")
+                    eligible = ~schedule.conflict_mask(sender, receiver,
+                                                       earliest, deadline)
+                    best = _kernel.best_reuse_distance(
+                        schedule, reuse_graph, sender, receiver,
+                        earliest, deadline)
+                    masked = np.where(eligible, best, np.int32(-1))
+                    prefix = np.maximum.accumulate(masked)
+                # prefix is non-decreasing, so the earliest slot whose
+                # best distance reaches ρ is a binary search away.
+                pos = int(prefix.searchsorted(rho, side="left"))
+                if pos < width:
+                    found_slot = earliest + pos
+            if found_slot is not None:
+                best_slot = found_slot
+                best_rho = rho
+                if n_rem == 0:
+                    break  # laxity = deadline - slot >= 0 always
+                if lax is None and probes == 0 and not self._table_hint:
+                    # One-slot evaluation for the common first-probe
+                    # accept; the lookup table only pays off on descent.
+                    window = schedule.busy_matrix()[
+                        :, found_slot + 1:deadline + 1]
+                    laxity = (deadline - found_slot - n_rem
+                              - int(np.count_nonzero(window[senders]
+                                                     | window[receivers])))
+                else:
+                    if lax is None:
+                        window = schedule.busy_matrix()[
+                            :, earliest:deadline + 1]
+                        blocked = (window[senders]
+                                   | window[receivers]).sum(axis=0)
+                        lax = ((deadline - earliest - n_rem)
+                               - np.arange(width, dtype=np.int64))
+                        # lax[i] -= sum(blocked[i+1:]) via a reversed
+                        # cumulative sum (the last slot has no suffix).
+                        lax[:-1] -= blocked[1:][::-1].cumsum()[::-1]
+                    laxity = int(lax[found_slot - earliest])
+                probes += 1
+                if laxity >= 0:
+                    break
+            if rho == NO_REUSE:
+                next_rho = reuse_graph.diameter()
+                if next_rho < rho_t:
+                    rho = next_rho
+                    break
+                rho = next_rho
+            else:
+                rho -= 1
+
+        if probes:
+            self._table_hint = probes > 1
+
+        if best_slot is None:
+            result = None
+        elif best_rho == NO_REUSE:
+            result = (best_slot, schedule.first_free_offset(best_slot))
+        else:
+            row = _kernel.min_reuse_distance(
+                schedule, reuse_graph, sender, receiver,
+                best_slot, best_slot)[0] >= best_rho
+            if self.offset_rule == OFFSET_FIRST:
+                result = (best_slot, int(np.argmax(row)))
+            else:
+                offsets = np.flatnonzero(row)
+                counts = schedule.occupancy()[0][best_slot, offsets]
+                result = (best_slot, int(offsets[int(np.argmin(counts))]))
+
+        if self.rho_reset == RHO_RESET_FLOW:
+            self._rho = max(rho, rho_t)
+        else:
+            self._rho = NO_REUSE
+        return result

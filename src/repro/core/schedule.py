@@ -9,7 +9,10 @@ their hot paths:
   (transmission-conflict checks, laxity's ``q`` terms);
 * per-(slot, offset) entry lists — channel-constraint checks and reuse
   statistics;
-* per-slot used-offset bitmasks — fast "any free channel?" queries.
+* per-slot used-offset bitmasks — fast "any free channel?" queries;
+* incremental NumPy occupancy arrays — per-cell occupant counts plus
+  sender/receiver index planes, consumed wholesale by the vectorized
+  placement kernel (:mod:`repro.core.kernel`).
 """
 
 from __future__ import annotations
@@ -54,6 +57,18 @@ class Schedule:
         self._cells: Dict[Tuple[int, int], List[int]] = {}
         self._used_mask = np.zeros(num_slots, dtype=np.int32)
         self._slot_entries: Dict[int, List[int]] = {}
+        # Occupancy arrays for the vectorized kernel: per-cell occupant
+        # counts plus sender/receiver index planes.  The occupant
+        # capacity (3rd axis) starts at zero and doubles on demand, so
+        # empty schedules stay cheap.
+        self._occ_count = np.zeros((num_slots, num_offsets), dtype=np.int32)
+        self._occ_senders = np.zeros((num_slots, num_offsets, 0),
+                                     dtype=np.int32)
+        self._occ_receivers = np.zeros((num_slots, num_offsets, 0),
+                                       dtype=np.int32)
+        # Incremental per-link min-reuse-distance stacks, created and
+        # queried by repro.core.kernel; add() keeps them current.
+        self._link_state = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -87,7 +102,41 @@ class Schedule:
         self._cells.setdefault((slot, offset), []).append(index)
         self._used_mask[slot] |= (1 << offset)
         self._slot_entries.setdefault(slot, []).append(index)
+        lane = int(self._occ_count[slot, offset])
+        if lane >= self._occ_senders.shape[2]:
+            self._grow_occupancy(lane + 1)
+        self._occ_senders[slot, offset, lane] = request.sender
+        self._occ_receivers[slot, offset, lane] = request.receiver
+        self._occ_count[slot, offset] = lane + 1
+        if self._link_state is not None:
+            self._update_link_distances(request.sender, request.receiver,
+                                        slot, offset)
         return entry
+
+    def _update_link_distances(self, x: int, y: int, slot: int,
+                               offset: int) -> None:
+        """Fold a new occupant ``(x, y)`` of cell ``(slot, offset)`` into
+        every tracked link's min-reuse-distance row (see
+        :mod:`repro.core.kernel`): one vectorized minimum over links."""
+        state = self._link_state
+        n = state.count
+        if not n:
+            return
+        cell = state.dist[slot, offset, :n]
+        np.minimum(cell, state.occupant_candidates(x, y), out=cell)
+        state.dist[slot, :, :n].max(axis=0, out=state.best[slot, :n])
+
+    def _grow_occupancy(self, needed: int) -> None:
+        """Double the occupant capacity of the kernel arrays."""
+        capacity = max(needed, 2 * max(self._occ_senders.shape[2], 1))
+        grown = np.zeros((self.num_slots, self.num_offsets, capacity),
+                         dtype=np.int32)
+        grown[:, :, :self._occ_senders.shape[2]] = self._occ_senders
+        self._occ_senders = grown
+        grown = np.zeros((self.num_slots, self.num_offsets, capacity),
+                         dtype=np.int32)
+        grown[:, :, :self._occ_receivers.shape[2]] = self._occ_receivers
+        self._occ_receivers = grown
 
     # ------------------------------------------------------------------
     # Queries used by the schedulers
@@ -95,8 +144,13 @@ class Schedule:
 
     @property
     def entries(self) -> List[ScheduledTransmission]:
-        """All scheduled transmissions, in placement order."""
-        return list(self._entries)
+        """All scheduled transmissions, in placement order.
+
+        The live internal list (callers must not mutate it) — this
+        property sits on simulator and analysis hot loops, and copying
+        thousands of entries per access dominated their profiles.
+        """
+        return self._entries
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -132,17 +186,33 @@ class Schedule:
 
     def cell_size(self, slot: int, offset: int) -> int:
         """Number of transmissions in a cell."""
-        return len(self._cells.get((slot, offset), []))
+        return int(self._occ_count[slot, offset])
+
+    @staticmethod
+    def _set_bits(mask: int) -> List[int]:
+        """Indices of the set bits of ``mask``, ascending."""
+        bits = []
+        while mask:
+            low = mask & -mask
+            bits.append(low.bit_length() - 1)
+            mask ^= low
+        return bits
 
     def used_offsets(self, slot: int) -> List[int]:
         """Channel offsets with at least one transmission in a slot."""
-        mask = int(self._used_mask[slot])
-        return [c for c in range(self.num_offsets) if mask & (1 << c)]
+        return self._set_bits(int(self._used_mask[slot]))
 
     def free_offsets(self, slot: int) -> List[int]:
         """Channel offsets with no transmission in a slot."""
-        mask = int(self._used_mask[slot])
-        return [c for c in range(self.num_offsets) if not mask & (1 << c)]
+        full = (1 << self.num_offsets) - 1
+        return self._set_bits(~int(self._used_mask[slot]) & full)
+
+    def first_free_offset(self, slot: int) -> int:
+        """Lowest unused channel offset in a slot (-1 when the slot is
+        full) — the NR fast path's pick, without building a list."""
+        full = (1 << self.num_offsets) - 1
+        free = ~int(self._used_mask[slot]) & full
+        return (free & -free).bit_length() - 1 if free else -1
 
     def has_free_offset(self, slot: int) -> bool:
         """Whether any channel offset in the slot is unused."""
@@ -155,9 +225,40 @@ class Schedule:
         full = (1 << self.num_offsets) - 1
         return self._used_mask[start:end + 1] != full
 
+    def nr_candidate_slots(self, sender: int, receiver: int,
+                           start: int, end: int) -> np.ndarray:
+        """Mask over ``[start, end]``: slots that are conflict-free for
+        the link *and* have a free offset — the ρ = ∞ feasibility test,
+        fused into three vector ops for the placement hot path."""
+        window = slice(start, end + 1)
+        full = (1 << self.num_offsets) - 1
+        mask = self._used_mask[window] != full
+        conflict = self._busy[sender, window] | self._busy[receiver, window]
+        # free & ~conflict, without materializing the inverted mask.
+        np.greater(mask, conflict, out=mask)
+        return mask
+
     def slot_transmissions(self, slot: int) -> List[ScheduledTransmission]:
         """All transmissions in a slot (any offset) — the paper's T_s."""
         return [self._entries[i] for i in self._slot_entries.get(slot, [])]
+
+    # ------------------------------------------------------------------
+    # Kernel views (read-only; see repro.core.kernel)
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The kernel's occupancy state: ``(counts, senders, receivers)``.
+
+        ``counts`` is ``(num_slots, num_offsets)`` occupant counts;
+        ``senders``/``receivers`` are ``(num_slots, num_offsets, K)``
+        node-index planes where only the first ``counts[s, c]`` lanes of
+        cell ``(s, c)`` are meaningful.  Callers must not mutate these.
+        """
+        return self._occ_count, self._occ_senders, self._occ_receivers
+
+    def busy_matrix(self) -> np.ndarray:
+        """The ``(num_nodes, num_slots)`` busy matrix (do not mutate)."""
+        return self._busy
 
     # ------------------------------------------------------------------
     # Whole-schedule queries (metrics, simulation)
@@ -217,3 +318,12 @@ class Schedule:
                 busy_check[entry.request.sender, slot] = True
                 busy_check[entry.request.receiver, slot] = True
         assert np.array_equal(busy_check, self._busy), "busy matrix mismatch"
+        for (slot, offset), indices in self._cells.items():
+            assert int(self._occ_count[slot, offset]) == len(indices), (
+                f"occupancy count mismatch in cell ({slot},{offset})")
+            for lane, i in enumerate(indices):
+                entry = self._entries[i]
+                assert (int(self._occ_senders[slot, offset, lane])
+                        == entry.request.sender), "occupancy sender mismatch"
+                assert (int(self._occ_receivers[slot, offset, lane])
+                        == entry.request.receiver), "occupancy receiver mismatch"

@@ -17,10 +17,15 @@ from typing import Dict, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.constraints import NO_REUSE, feasible_offsets
+from repro.core import kernel as _kernel
+from repro.core.constraints import (
+    NO_REUSE,
+    feasible_offsets_scalar,
+)
 from repro.core.schedule import Schedule
 from repro.core.transmissions import (
     ATTEMPTS_PER_LINK,
+    RequestWindow,
     TransmissionRequest,
     expand_instance,
 )
@@ -82,25 +87,42 @@ def find_slot(schedule: Schedule, reuse_graph: ChannelReuseGraph,
     if earliest > deadline:
         return None
 
-    conflict = schedule.conflict_mask(
-        request.sender, request.receiver, earliest, deadline)
     if rho == NO_REUSE:
         # Fast path: feasible slots need a completely free offset.
-        candidates = ~conflict & schedule.free_offset_slots(earliest, deadline)
-        indices = np.flatnonzero(candidates)
-        if indices.size == 0:
+        candidates = schedule.nr_candidate_slots(
+            request.sender, request.receiver, earliest, deadline)
+        # argmax short-circuits on booleans: first feasible slot or 0.
+        rel = int(candidates.argmax())
+        if not candidates[rel]:
             _note_scan(deadline - earliest + 1)
             return None
-        slot = earliest + int(indices[0])
-        _note_scan(int(indices[0]) + 1)
-        free = schedule.free_offsets(slot)
-        return (slot, free[0])
+        slot = earliest + rel
+        _note_scan(rel + 1)
+        return (slot, schedule.first_free_offset(slot))
 
+    conflict = schedule.conflict_mask(
+        request.sender, request.receiver, earliest, deadline)
+    if _kernel.active_kernel() == _kernel.KERNEL_SCALAR:
+        return _find_slot_scalar(schedule, reuse_graph, request, rho,
+                                 earliest, offset_rule, conflict)
+    return _find_slot_vector(schedule, reuse_graph, request, rho,
+                             earliest, offset_rule, conflict)
+
+
+def _find_slot_scalar(schedule: Schedule, reuse_graph: ChannelReuseGraph,
+                      request: TransmissionRequest, rho: float,
+                      earliest: int, offset_rule: str,
+                      conflict: np.ndarray) -> Optional[Tuple[int, int]]:
+    """Finite-ρ slot scan, one cell at a time (pre-vectorization path).
+
+    Retained as the reference oracle for the vectorized kernel and as
+    the baseline ``repro bench`` measures speedups against.
+    """
     scanned = 0
     for index in np.flatnonzero(~conflict):
         scanned += 1
         slot = earliest + int(index)
-        offsets = feasible_offsets(
+        offsets = feasible_offsets_scalar(
             schedule, reuse_graph, request.sender, request.receiver,
             slot, rho)
         if not offsets:
@@ -115,6 +137,48 @@ def find_slot(schedule: Schedule, reuse_graph: ChannelReuseGraph,
         raise ValueError(f"unknown offset rule: {offset_rule}")
     _note_scan(scanned)
     return None
+
+
+def _find_slot_vector(schedule: Schedule, reuse_graph: ChannelReuseGraph,
+                      request: TransmissionRequest, rho: float,
+                      earliest: int, offset_rule: str,
+                      conflict: np.ndarray) -> Optional[Tuple[int, int]]:
+    """Finite-ρ slot scan via the vectorized placement kernel.
+
+    The kernel maintains each link's min-reuse distances incrementally
+    (see :mod:`repro.core.kernel`), so the whole window is answered by
+    thresholding the link's per-slot best-distance view against ρ — no
+    per-slot rescans, and RC's descending-ρ retries of the same request
+    re-threshold the same row.
+    """
+    if offset_rule not in (OFFSET_FIRST, OFFSET_LEAST_LOADED):
+        raise ValueError(f"unknown offset rule: {offset_rule}")
+    deadline = request.deadline_slot
+    best = _kernel.best_reuse_distance(
+        schedule, reuse_graph, request.sender, request.receiver,
+        earliest, deadline)
+    feasible = best >= rho
+    # feasible & ~conflict, without materializing the inverted mask.
+    np.greater(feasible, conflict, out=feasible)
+    # argmax short-circuits on booleans: first feasible slot or 0.
+    rel = int(feasible.argmax())
+    if not feasible[rel]:
+        if _obs.ENABLED:
+            _note_scan(int(conflict.size - np.count_nonzero(conflict)))
+        return None
+    slot = earliest + rel
+    if _obs.ENABLED:
+        _note_scan(int(rel + 1 - np.count_nonzero(conflict[:rel + 1])))
+    row = _kernel.min_reuse_distance(
+        schedule, reuse_graph, request.sender, request.receiver,
+        slot, slot)[0] >= rho
+    if offset_rule == OFFSET_FIRST:
+        return (slot, int(np.argmax(row)))
+    offsets = np.flatnonzero(row)
+    counts = schedule.occupancy()[0][slot, offsets]
+    # argmin returns the first minimum; offsets ascend, so ties break
+    # toward the lowest offset like the scalar (cell_size, offset) key.
+    return (slot, int(offsets[int(np.argmin(counts))]))
 
 
 class PlacementPolicy(Protocol):
@@ -198,6 +262,16 @@ class FixedPriorityScheduler:
         start_time = time.perf_counter()
         hyperperiod = flow_set.hyperperiod()
         schedule = Schedule(self.num_nodes, hyperperiod, self.num_offsets)
+        if (_kernel.active_kernel() == _kernel.KERNEL_VECTOR
+                and getattr(self.policy, "uses_reuse", True)):
+            # Register every link while the schedule is empty: distance
+            # rows start at "no constraint" for free, instead of paying
+            # a full occupancy pass on first touch mid-run.  NR opts out
+            # (uses_reuse=False): it never consults reuse distances, so
+            # maintaining them would be pure per-placement overhead.
+            _kernel.prepare_links(
+                schedule, self.reuse_graph,
+                {link for flow in flow_set for link in flow.links})
 
         # Resolve observability once per run; ENABLED is a module-level
         # flag so the disabled cost is one attribute read.
@@ -212,10 +286,21 @@ class FixedPriorityScheduler:
             for instance in flow.instances(hyperperiod):
                 requests = expand_instance(instance, self.attempts_per_link)
                 earliest = instance.release_slot
+                # The vectorized laxity path wants T_post as index
+                # arrays; share one pair across the instance's
+                # placements.  The scalar reference keeps the plain
+                # list slices it was originally measured with.
+                windows = _kernel.active_kernel() == _kernel.KERNEL_VECTOR
+                if windows:
+                    senders, receivers = RequestWindow.arrays_for(requests)
                 for position, request in enumerate(requests):
+                    remaining = (
+                        RequestWindow(requests, position + 1,
+                                      senders, receivers)
+                        if windows else requests[position + 1:])
                     placement = self.policy.place(
                         schedule, self.reuse_graph, request, earliest,
-                        requests[position + 1:])
+                        remaining)
                     if placement is None:
                         if recorder is not None:
                             recorder.count("scheduler.rejections")

@@ -12,7 +12,10 @@ retransmission slot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from itertools import islice
+from typing import List, Sequence
+
+import numpy as np
 
 from repro.flows.flow import FlowInstance
 
@@ -61,6 +64,63 @@ class TransmissionRequest:
     def __str__(self) -> str:
         return (f"F{self.flow_id}[{self.instance}] hop {self.hop_index}"
                 f".{self.attempt} {self.sender}->{self.receiver}")
+
+
+class RequestWindow(Sequence):
+    """A zero-copy tail view of an instance's request list.
+
+    The scheduling engine hands each placement policy the requests that
+    still need slots (``T_post`` in the laxity formula).  Slicing the
+    request list per placement is O(n) and the vectorized laxity path
+    additionally needs the senders and receivers as index arrays —
+    this view shares one pair of arrays across every placement of the
+    instance and exposes the tail without copying.
+    """
+
+    __slots__ = ("_requests", "_start", "_senders", "_receivers")
+
+    def __init__(self, requests: Sequence[TransmissionRequest], start: int,
+                 senders: np.ndarray, receivers: np.ndarray):
+        self._requests = requests
+        self._start = start
+        self._senders = senders
+        self._receivers = receivers
+
+    @classmethod
+    def arrays_for(cls, requests: Sequence[TransmissionRequest]
+                   ) -> "tuple[np.ndarray, np.ndarray]":
+        """Sender/receiver index arrays for a full request list."""
+        count = len(requests)
+        senders = np.fromiter((r.sender for r in requests),
+                              dtype=np.intp, count=count)
+        receivers = np.fromiter((r.receiver for r in requests),
+                                dtype=np.intp, count=count)
+        return senders, receivers
+
+    @property
+    def senders(self) -> np.ndarray:
+        """Sender node indices of the windowed requests (a view)."""
+        return self._senders[self._start:]
+
+    @property
+    def receivers(self) -> np.ndarray:
+        """Receiver node indices of the windowed requests (a view)."""
+        return self._receivers[self._start:]
+
+    def __len__(self) -> int:
+        return len(self._requests) - self._start
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._requests[self._start:])[index]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._requests[self._start + index]
+
+    def __iter__(self):
+        return islice(iter(self._requests), self._start, None)
 
 
 def expand_instance(instance: FlowInstance,

@@ -13,6 +13,11 @@ from repro.experiments.detection_exp import (
     build_detection_flow_set,
     run_detection,
 )
+from repro.experiments.parallel import (
+    parallel_map,
+    resolve_workers,
+    trial_network,
+)
 from repro.experiments.reliability import (
     DEFAULT_FLOW_MIX,
     RELIABILITY_CHANNELS,
@@ -39,9 +44,12 @@ __all__ = [
     "build_reliability_flow_set",
     "build_workload",
     "make_policy",
+    "parallel_map",
     "prepare_network",
+    "resolve_workers",
     "run_detection",
     "run_reliability",
     "run_sweep",
     "schedule_workload",
+    "trial_network",
 ]

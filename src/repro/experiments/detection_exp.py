@@ -33,6 +33,7 @@ from repro.experiments.common import (
     prepare_network,
     schedule_workload,
 )
+from repro.experiments.parallel import parallel_map
 from repro.experiments.reliability import RELIABILITY_CHANNELS
 from repro.flows.flow import FlowSet
 from repro.flows.generator import generate_fixed_period_flow_set
@@ -108,6 +109,56 @@ def build_detection_flow_set(network: PreparedNetwork,
                          TrafficType.PEER_TO_PEER, access_points)
 
 
+def _detection_trial(context: dict, policy: str) -> List[DetectionOutcome]:
+    """One detection policy: schedule once, simulate every condition.
+
+    The flow set, interferer placement, and simulation seeds are all in
+    the context, so trials are independent of execution order (see
+    :mod:`repro.experiments.parallel`).
+    """
+    network: PreparedNetwork = context["network"]
+    flow_set = context["flow_set"]
+    config: DetectionConfig = context["config"]
+    seed = context["seed"]
+    repetitions_per_epoch = context["repetitions_per_epoch"]
+    total_repetitions = context["num_epochs"] * repetitions_per_epoch
+    result = schedule_workload(network, flow_set, policy, context["rho_t"])
+    outcomes: List[DetectionOutcome] = []
+    for condition in context["conditions"]:
+        if not result.schedulable:
+            outcomes.append(DetectionOutcome(
+                policy=policy, condition=condition, schedulable=False))
+            continue
+        use_wifi = condition == "wifi"
+        simulator = TschSimulator(
+            schedule=result.schedule, flow_set=flow_set,
+            environment=context["environment"],
+            channel_map=network.topology.channel_map,
+            interferers=context["interferers"] if use_wifi else (),
+            interferer_rssi_dbm=(context["interferer_rssi"]
+                                 if use_wifi else None),
+            config=SimulationConfig(seed=seed + 2000))
+        stats = simulator.run(total_repetitions)
+        reports = build_epoch_reports(stats, repetitions_per_epoch)
+
+        outcome = DetectionOutcome(
+            policy=policy, condition=condition, schedulable=True,
+            reuse_links=result.schedule.reuse_links(),
+            epoch_reports=reports)
+        low_prr = set()
+        for report in reports:
+            diagnoses = diagnose_epoch(report, config)
+            outcome.diagnoses[report.epoch] = diagnoses
+            outcome.rejected_per_epoch[report.epoch] = [
+                d.link for d in diagnoses if d.verdict is Verdict.REJECT]
+            low_prr.update(
+                d.link for d in diagnoses
+                if d.verdict in (Verdict.REJECT, Verdict.ACCEPT))
+        outcome.low_prr_links = sorted(low_prr)
+        outcomes.append(outcome)
+    return outcomes
+
+
 def run_detection(topology: Topology, environment: RadioEnvironment,
                   plan: FloorPlan, *, num_flows: int = 80,
                   num_epochs: int = 6,
@@ -117,7 +168,7 @@ def run_detection(topology: Topology, environment: RadioEnvironment,
                   conditions: Sequence[str] = ("clean", "wifi"),
                   config: DetectionConfig = DetectionConfig(),
                   rho_t: int = DEFAULT_RHO_T,
-                  seed: int = 0) -> List[DetectionOutcome]:
+                  seed: int = 0, workers: int = 1) -> List[DetectionOutcome]:
     """Run the Figure 10/11 experiment.
 
     Args:
@@ -137,6 +188,8 @@ def run_detection(topology: Topology, environment: RadioEnvironment,
         config: Detection-policy parameters (α = 0.05, PRR_t = 0.9).
         rho_t: Reuse hop floor.
         seed: Base seed.
+        workers: Worker processes to fan the per-policy trials over
+            (``0`` = all CPUs).  Results are identical for any count.
 
     Returns:
         One :class:`DetectionOutcome` per (policy, condition).
@@ -150,39 +203,14 @@ def run_detection(topology: Topology, environment: RadioEnvironment,
         interferers, environment.positions, plan,
         LogDistancePathLoss(), np.random.default_rng(seed + 1))
 
-    outcomes: List[DetectionOutcome] = []
-    total_repetitions = num_epochs * repetitions_per_epoch
-    for policy in policies:
-        result = schedule_workload(network, flow_set, policy, rho_t)
-        for condition in conditions:
-            if not result.schedulable:
-                outcomes.append(DetectionOutcome(
-                    policy=policy, condition=condition, schedulable=False))
-                continue
-            use_wifi = condition == "wifi"
-            simulator = TschSimulator(
-                schedule=result.schedule, flow_set=flow_set,
-                environment=environment,
-                channel_map=network.topology.channel_map,
-                interferers=interferers if use_wifi else (),
-                interferer_rssi_dbm=interferer_rssi if use_wifi else None,
-                config=SimulationConfig(seed=seed + 2000))
-            stats = simulator.run(total_repetitions)
-            reports = build_epoch_reports(stats, repetitions_per_epoch)
-
-            outcome = DetectionOutcome(
-                policy=policy, condition=condition, schedulable=True,
-                reuse_links=result.schedule.reuse_links(),
-                epoch_reports=reports)
-            low_prr = set()
-            for report in reports:
-                diagnoses = diagnose_epoch(report, config)
-                outcome.diagnoses[report.epoch] = diagnoses
-                outcome.rejected_per_epoch[report.epoch] = [
-                    d.link for d in diagnoses if d.verdict is Verdict.REJECT]
-                low_prr.update(
-                    d.link for d in diagnoses
-                    if d.verdict in (Verdict.REJECT, Verdict.ACCEPT))
-            outcome.low_prr_links = sorted(low_prr)
-            outcomes.append(outcome)
-    return outcomes
+    context = {
+        "network": network, "environment": environment,
+        "flow_set": flow_set, "interferers": interferers,
+        "interferer_rssi": interferer_rssi,
+        "conditions": tuple(conditions), "config": config,
+        "rho_t": rho_t, "seed": seed, "num_epochs": num_epochs,
+        "repetitions_per_epoch": repetitions_per_epoch,
+    }
+    batches = parallel_map(_detection_trial, list(policies),
+                           workers=workers, context=context)
+    return [outcome for batch in batches for outcome in batch]

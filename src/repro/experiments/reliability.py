@@ -24,6 +24,7 @@ from repro.experiments.common import (
     prepare_network,
     schedule_workload,
 )
+from repro.experiments.parallel import parallel_map
 from repro.flows.flow import FlowSet
 from repro.flows.generator import generate_fixed_period_flow_set
 from repro.network.topology import Topology
@@ -90,13 +91,53 @@ def _schedulable_flow_set(network: PreparedNetwork,
     return flow_set, results
 
 
+def _reliability_trial(context: dict,
+                       set_index: int) -> List[ReliabilityOutcome]:
+    """One reliability flow set: draw, schedule, and simulate.
+
+    Seeds derive from ``seed + set_index`` only, keeping trials
+    independent of execution order (see
+    :mod:`repro.experiments.parallel`).
+    """
+    network: PreparedNetwork = context["network"]
+    environment: RadioEnvironment = context["environment"]
+    policies = context["policies"]
+    seed = context["seed"]
+    flow_set, results = _schedulable_flow_set(
+        network, context["flow_mix"], policies, context["rho_t"],
+        seed + set_index)
+    outcomes: List[ReliabilityOutcome] = []
+    for policy in policies:
+        result = results[policy]
+        outcome = ReliabilityOutcome(
+            set_index=set_index, policy=policy,
+            schedulable=result.schedulable)
+        if result.schedulable:
+            simulator = TschSimulator(
+                schedule=result.schedule, flow_set=flow_set,
+                environment=environment,
+                channel_map=network.topology.channel_map,
+                config=SimulationConfig(seed=seed + 1000 + set_index))
+            stats = simulator.run(context["repetitions"])
+            pdrs = stats.pdr_values()
+            outcome.pdr_box = BoxStats.from_values(pdrs)
+            outcome.median_pdr = stats.median_pdr()
+            outcome.worst_pdr = stats.worst_pdr()
+            outcome.tx_hist = tx_per_cell_distribution(result.schedule)
+            if context["keep_stats"]:
+                outcome.stats = stats
+        outcomes.append(outcome)
+    return outcomes
+
+
 def run_reliability(topology: Topology, environment: RadioEnvironment,
                     *, num_flow_sets: int = 5, repetitions: int = 100,
                     channels: Sequence[int] = RELIABILITY_CHANNELS,
                     flow_mix: Sequence[Tuple[float, int]] = DEFAULT_FLOW_MIX,
                     policies: Sequence[str] = POLICY_NAMES,
                     rho_t: int = DEFAULT_RHO_T, seed: int = 0,
-                    keep_stats: bool = False) -> List[ReliabilityOutcome]:
+                    keep_stats: bool = False,
+                    workers: int = 1) -> List[ReliabilityOutcome]:
     """Run the Figure 8/9 experiment.
 
     Args:
@@ -111,33 +152,19 @@ def run_reliability(topology: Topology, environment: RadioEnvironment,
         seed: Base seed (flow set k uses seed + k).
         keep_stats: Attach the full SimulationStats to each outcome
             (memory-heavy; used by the detection experiments and tests).
+        workers: Worker processes to fan the flow-set trials over
+            (``0`` = all CPUs).  Results are identical for any count.
 
     Returns:
         One :class:`ReliabilityOutcome` per (flow set, policy).
     """
     network = prepare_network(topology, channels=channels)
-    outcomes: List[ReliabilityOutcome] = []
-    for set_index in range(num_flow_sets):
-        flow_set, results = _schedulable_flow_set(
-            network, flow_mix, policies, rho_t, seed + set_index)
-        for policy in policies:
-            result = results[policy]
-            outcome = ReliabilityOutcome(
-                set_index=set_index, policy=policy,
-                schedulable=result.schedulable)
-            if result.schedulable:
-                simulator = TschSimulator(
-                    schedule=result.schedule, flow_set=flow_set,
-                    environment=environment,
-                    channel_map=network.topology.channel_map,
-                    config=SimulationConfig(seed=seed + 1000 + set_index))
-                stats = simulator.run(repetitions)
-                pdrs = stats.pdr_values()
-                outcome.pdr_box = BoxStats.from_values(pdrs)
-                outcome.median_pdr = stats.median_pdr()
-                outcome.worst_pdr = stats.worst_pdr()
-                outcome.tx_hist = tx_per_cell_distribution(result.schedule)
-                if keep_stats:
-                    outcome.stats = stats
-            outcomes.append(outcome)
-    return outcomes
+    context = {
+        "network": network, "environment": environment,
+        "flow_mix": tuple(flow_mix), "policies": tuple(policies),
+        "rho_t": rho_t, "seed": seed, "repetitions": repetitions,
+        "keep_stats": keep_stats,
+    }
+    batches = parallel_map(_reliability_trial, list(range(num_flow_sets)),
+                           workers=workers, context=context)
+    return [outcome for batch in batches for outcome in batch]

@@ -22,11 +22,10 @@ from repro.analysis.metrics import (
 from repro.core.ra import DEFAULT_RHO_T
 from repro.experiments.common import (
     POLICY_NAMES,
-    PreparedNetwork,
     build_workload,
-    prepare_network,
     schedule_workload,
 )
+from repro.experiments.parallel import parallel_map, trial_network
 from repro.flows.generator import PeriodRange
 from repro.network.topology import Topology
 from repro.routing.shortest_path import NoRouteError
@@ -117,6 +116,46 @@ class SweepResult:
         return {k: v / count for k, v in sorted(total.items())}
 
 
+def _sweep_trial(context: dict, task: Tuple[int, int]) -> List[TrialOutcome]:
+    """One (sweep point, flow set) trial: workload + every policy.
+
+    All randomness derives from ``seed + set_index``, so trials are
+    independent of execution order and worker placement (see
+    :mod:`repro.experiments.parallel`).
+    """
+    x, set_index = task
+    vary = context["vary"]
+    num_channels = x if vary == "channels" else context["fixed_channels"]
+    num_flows = x if vary == "flows" else context["fixed_flows"]
+    network = trial_network(context, num_channels=num_channels)
+    policies = context["policies"]
+    rng = np.random.default_rng(context["seed"] + set_index)
+    try:
+        flow_set = build_workload(network, num_flows,
+                                  context["period_range"],
+                                  context["traffic"], rng)
+    except NoRouteError:
+        # The restricted graph cannot carry this workload at all;
+        # count it against every policy equally.
+        return [TrialOutcome(x=x, set_index=set_index, policy=policy,
+                             schedulable=False, elapsed_s=0.0)
+                for policy in policies]
+    outcomes: List[TrialOutcome] = []
+    for policy in policies:
+        result = schedule_workload(network, flow_set, policy,
+                                   context["rho_t"])
+        outcome = TrialOutcome(
+            x=x, set_index=set_index, policy=policy,
+            schedulable=result.schedulable,
+            elapsed_s=result.elapsed_s)
+        if result.schedulable and context["collect_histograms"]:
+            outcome.tx_hist = tx_per_cell_distribution(result.schedule)
+            outcome.hop_hist = reuse_hop_distribution(
+                result.schedule, network.reuse)
+        outcomes.append(outcome)
+    return outcomes
+
+
 def run_sweep(topology: Topology, traffic: TrafficType, vary: str,
               values: Sequence[int], *, fixed_channels: int = 5,
               fixed_flows: int = 30,
@@ -124,7 +163,8 @@ def run_sweep(topology: Topology, traffic: TrafficType, vary: str,
               num_flow_sets: int = 100, seed: int = 0,
               policies: Sequence[str] = POLICY_NAMES,
               rho_t: int = DEFAULT_RHO_T,
-              collect_histograms: bool = True) -> SweepResult:
+              collect_histograms: bool = True,
+              workers: int = 1) -> SweepResult:
     """Run one schedulable-ratio sweep.
 
     Args:
@@ -142,6 +182,9 @@ def run_sweep(topology: Topology, traffic: TrafficType, vary: str,
         rho_t: Reuse hop-count floor for RA and RC.
         collect_histograms: Harvest Tx/channel and reuse-hop histograms
             from schedulable runs (Figures 4-5).
+        workers: Worker processes to fan the (sweep point, flow set)
+            trials over (``0`` = all CPUs).  Results are identical for
+            any worker count.
 
     Returns:
         A :class:`SweepResult`.
@@ -149,34 +192,17 @@ def run_sweep(topology: Topology, traffic: TrafficType, vary: str,
     if vary not in ("channels", "flows"):
         raise ValueError("vary must be 'channels' or 'flows'")
 
-    outcomes: List[TrialOutcome] = []
-    for x in values:
-        num_channels = x if vary == "channels" else fixed_channels
-        num_flows = x if vary == "flows" else fixed_flows
-        network = prepare_network(topology, num_channels=num_channels)
-        for set_index in range(num_flow_sets):
-            rng = np.random.default_rng(seed + set_index)
-            try:
-                flow_set = build_workload(network, num_flows, period_range,
-                                          traffic, rng)
-            except NoRouteError:
-                # The restricted graph cannot carry this workload at all;
-                # count it against every policy equally.
-                for policy in policies:
-                    outcomes.append(TrialOutcome(
-                        x=x, set_index=set_index, policy=policy,
-                        schedulable=False, elapsed_s=0.0))
-                continue
-            for policy in policies:
-                result = schedule_workload(network, flow_set, policy, rho_t)
-                outcome = TrialOutcome(
-                    x=x, set_index=set_index, policy=policy,
-                    schedulable=result.schedulable,
-                    elapsed_s=result.elapsed_s)
-                if result.schedulable and collect_histograms:
-                    outcome.tx_hist = tx_per_cell_distribution(result.schedule)
-                    outcome.hop_hist = reuse_hop_distribution(
-                        result.schedule, network.reuse)
-                outcomes.append(outcome)
+    context = {
+        "topology": topology, "traffic": traffic, "vary": vary,
+        "fixed_channels": fixed_channels, "fixed_flows": fixed_flows,
+        "period_range": period_range, "seed": seed,
+        "policies": tuple(policies), "rho_t": rho_t,
+        "collect_histograms": collect_histograms,
+    }
+    tasks = [(x, set_index) for x in values
+             for set_index in range(num_flow_sets)]
+    batches = parallel_map(_sweep_trial, tasks, workers=workers,
+                           context=context)
+    outcomes = [outcome for batch in batches for outcome in batch]
     return SweepResult(vary=vary, values=list(values),
                        policies=tuple(policies), outcomes=outcomes)

@@ -198,12 +198,35 @@ class ChannelReuseGraph:
         """Network diameter λ_R: the maximum finite hop distance.
 
         The paper uses λ_R as the starting reuse hop count when RC first
-        introduces channel reuse.
+        introduces channel reuse.  Memoized (the dataclass is frozen and
+        ``hops`` never changes): RC consults it on every ρ=∞ fallback,
+        and the full-matrix max was a measurable slice of ``place()``.
         """
-        finite = self.hops[self.hops != UNREACHABLE]
-        if finite.size == 0:
-            return 0
-        return int(finite.max())
+        cached = self.__dict__.get("_diameter")
+        if cached is None:
+            finite = self.hops[self.hops != UNREACHABLE]
+            cached = int(finite.max()) if finite.size else 0
+            # Direct __dict__ write: the frozen dataclass only blocks
+            # attribute assignment through __setattr__.
+            self.__dict__["_diameter"] = cached
+        return cached
+
+    def effective_hops(self) -> np.ndarray:
+        """Hop matrix with :data:`UNREACHABLE` mapped to a huge distance.
+
+        Unreachable pairs are infinitely far apart for the channel
+        constraint, so the vectorized kernel can compare this matrix
+        against ρ directly.  Memoized like :meth:`diameter`.
+        """
+        cached = self.__dict__.get("_effective_hops")
+        if cached is None:
+            from repro.core.kernel import INFINITE_DISTANCE
+
+            cached = np.where(self.hops == UNREACHABLE,
+                              INFINITE_DISTANCE,
+                              self.hops).astype(np.int32)
+            self.__dict__["_effective_hops"] = cached
+        return cached
 
     def neighbors(self, u: int) -> List[int]:
         """Neighbors of node u."""

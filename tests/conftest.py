@@ -87,3 +87,9 @@ def wustl():
     from repro.testbeds import make_wustl
 
     return make_wustl()
+
+
+@pytest.fixture(scope="session")
+def topology_builder():
+    """The :func:`build_topology` helper, for per-test custom graphs."""
+    return build_topology
