@@ -7,6 +7,8 @@ a shell without writing Python:
 * ``sweep`` — schedulable-ratio sweep (Figures 1-3);
 * ``reliability`` — scheduled-then-simulated PDR comparison (Figure 8);
 * ``detection`` — K-S detection experiment (Figures 10-11);
+* ``manage`` — closed-loop network manager under a fault scenario;
+* ``adapt`` — remediation policies vs. NoOp under one fault timeline;
 * ``bench`` — scheduler kernel benchmark (writes BENCH_schedulers.json);
 * ``report`` — pretty-print a saved metrics snapshot.
 
@@ -126,6 +128,90 @@ def cmd_detection(args: argparse.Namespace) -> int:
     return 0
 
 
+def _manager_config(args: argparse.Namespace):
+    """Build a ManagerConfig from manage/adapt CLI arguments."""
+    from repro.manager import ManagerConfig, resolve_scenario
+
+    try:
+        scenario = resolve_scenario(args.scenario)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    flows = args.flows
+    reps = args.reps
+    warmup, confirm, cooldown = 2, 2, 1
+    if args.quick:
+        # CI smoke mode: lighter workload and hysteresis so a few
+        # epochs already exercise detection and remediation.
+        flows = min(flows, 40)
+        reps = min(reps, 8)
+        warmup, confirm = 1, 1
+    return ManagerConfig(
+        scenario=scenario, policy=getattr(args, "policy", "noop"),
+        scheduler_policy=args.scheduler, rho_t=args.rho_t,
+        num_epochs=args.epochs, repetitions_per_epoch=reps,
+        num_flows=flows, channels=tuple(args.channels),
+        seed=args.seed or 0, warmup_epochs=warmup,
+        confirm_epochs=confirm, cooldown_epochs=cooldown)
+
+
+def _print_manager_report(report) -> None:
+    """Epoch-by-epoch table for one ManagerReport."""
+    print(f"policy {report.policy} / scenario '{report.scenario}' / "
+          f"{report.scheduler_policy} schedules / seed {report.seed}")
+    print(f"{'epoch':>5} {'conditions':<24} {'median':>7} {'worst':>7} "
+          f"{'reuse':>6} {'rej':>4} {'acc':>4} {'susp':>5}  action")
+    for o in report.epochs:
+        action = o.action or "-"
+        if o.action and not o.action_applied:
+            action += " (failed)"
+        print(f"{o.epoch:>5} {o.conditions:<24} {o.median_pdr:7.3f} "
+              f"{o.worst_pdr:7.3f} {o.num_reuse_links:>6} {o.num_reject:>4} "
+              f"{o.num_accept:>4} {len(o.confirmed_suspects):>5}  {action}")
+    print(f"  barred links: {len(report.barred_links)}  "
+          f"final channels: {list(report.final_channels)}  "
+          f"final rho_t: {report.final_rho_t}")
+
+
+def _write_reports(reports, path: str) -> None:
+    """Serialize ManagerReports to a JSON artifact."""
+    import json
+
+    payload = [report.to_dict() for report in reports]
+    with open(path, "w") as handle:
+        json.dump(payload if len(payload) != 1 else payload[0], handle,
+                  indent=2)
+    print(f"manager report -> {path}")
+
+
+def cmd_manage(args: argparse.Namespace) -> int:
+    from repro.manager import run_manager
+
+    topology, environment = _make_testbed(args.testbed, args.seed)
+    config = _manager_config(args)
+    seeds = args.seeds if args.seeds is not None else [config.seed]
+    reports = run_manager(topology, environment, _plan_for(args.testbed),
+                          config, seeds=seeds, workers=args.workers)
+    for report in reports:
+        _print_manager_report(report)
+    if args.report_out:
+        _write_reports(reports, args.report_out)
+    return 0
+
+
+def cmd_adapt(args: argparse.Namespace) -> int:
+    from repro.experiments.adaptation import format_adaptation, run_adaptation
+
+    topology, environment = _make_testbed(args.testbed, args.seed)
+    config = _manager_config(args)
+    reports = run_adaptation(topology, environment, _plan_for(args.testbed),
+                             scenario=config.scenario, policies=args.policies,
+                             config=config, workers=args.workers)
+    print(format_adaptation(reports, metric=args.metric))
+    if args.report_out:
+        _write_reports(reports, args.report_out)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import format_bench, run_bench
 
@@ -143,12 +229,20 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.io import load_jsonl, load_metrics
     from repro.obs.report import format_report
 
-    snapshot = load_metrics(args.metrics)
-    kind_counts = None
-    if args.trace_in:
-        kind_counts = dict(Counter(
-            record.get("kind", "?") for record in load_jsonl(args.trace_in)))
-    print(format_report(snapshot, kind_counts))
+    # A missing or corrupt snapshot is an operator mistake, not a bug:
+    # one line to stderr and a distinct exit code, never a traceback.
+    try:
+        snapshot = load_metrics(args.metrics)
+        kind_counts = None
+        if args.trace_in:
+            kind_counts = dict(Counter(
+                record.get("kind", "?")
+                for record in load_jsonl(args.trace_in)))
+        print(format_report(snapshot, kind_counts))
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot read metrics from {args.metrics}: {error}",
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -208,6 +302,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flows", type=int, default=80)
     p.add_argument("--epochs", type=int, default=3)
     p.set_defaults(func=cmd_detection)
+
+    def manage_common(p):
+        p.set_defaults(testbed="wustl")
+        p.add_argument("--scenario", default="reuse-storm",
+                       help="fault scenario: preset name or JSON file "
+                            "(presets: quiet, reuse-storm, wifi-burst, "
+                            "wifi-transient, storm-and-churn)")
+        p.add_argument("--scheduler", default="RA",
+                       choices=("NR", "RA", "RC"),
+                       help="placement policy building the schedules")
+        p.add_argument("--rho-t", type=int, default=2,
+                       help="initial reuse hop floor for RA / RC")
+        p.add_argument("--epochs", type=int, default=10,
+                       help="health-report epochs to run")
+        p.add_argument("--flows", type=int, default=80,
+                       help="peer-to-peer 1 s flows in the workload")
+        p.add_argument("--reps", type=int, default=18,
+                       help="hyperperiods per epoch (paper: 18)")
+        p.add_argument("--channels", type=int, nargs="+",
+                       default=[11, 12, 13, 14, 15],
+                       help="physical channels the network hops over")
+        p.add_argument("--quick", action="store_true",
+                       help="CI smoke mode: lighter workload, "
+                            "faster-acting hysteresis")
+        p.add_argument("--report-out", default=None, metavar="FILE",
+                       help="write the ManagerReport(s) as JSON")
+
+    p = sub.add_parser("manage",
+                       help="closed-loop manager under a fault scenario")
+    common(p)
+    manage_common(p)
+    p.add_argument("--policy", default="reschedule",
+                   choices=("noop", "reschedule", "blacklist", "escalate"),
+                   help="remediation policy")
+    p.add_argument("--seeds", type=int, nargs="+", default=None,
+                   help="run one trial per seed (fanned over --workers)")
+    p.set_defaults(func=cmd_manage)
+
+    p = sub.add_parser("adapt",
+                       help="remediation policies vs NoOp (Fig 8-style)")
+    common(p)
+    manage_common(p)
+    p.add_argument("--policies", nargs="+",
+                   default=["noop", "reschedule", "blacklist", "escalate"],
+                   help="remediation policies to compare")
+    p.add_argument("--metric", default="median", choices=("median", "worst"),
+                   help="per-flow PDR statistic to tabulate")
+    p.set_defaults(func=cmd_adapt)
 
     p = sub.add_parser("bench", help="scheduler kernel benchmark")
     p.add_argument("--quick", action="store_true",

@@ -11,7 +11,7 @@ that by grouping simulator repetitions into epochs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.simulator.stats import Link, SimulationStats
 
@@ -55,6 +55,43 @@ class EpochReport:
                       if report.reuse_samples)
 
 
+def build_epoch_report(stats: SimulationStats, epoch: int,
+                       window: Optional[Tuple[int, int]] = None,
+                       ) -> EpochReport:
+    """Build one epoch's health report from a repetition window.
+
+    This is the streaming entry point: the network manager simulates one
+    epoch's worth of repetitions at a time and turns each batch into an
+    :class:`EpochReport` directly, instead of slicing one monolithic
+    simulation afterwards.
+
+    Args:
+        stats: Simulation output covering (at least) the window.
+        epoch: Epoch index to stamp on the report.
+        window: ``(start, end)`` repetition slice (end exclusive);
+            ``None`` uses every repetition in ``stats``.
+    """
+    link_reports = {}
+    for link in stats.links_seen():
+        reuse_samples = tuple(
+            stats.link_prr_samples(link, shared_cell=True,
+                                   repetition_range=window))
+        cf_samples = tuple(
+            stats.link_prr_samples(link, shared_cell=False,
+                                   repetition_range=window))
+        link_reports[link] = LinkEpochReport(
+            link=link,
+            epoch=epoch,
+            reuse_samples=reuse_samples,
+            contention_free_samples=cf_samples,
+            reuse_prr=stats.overall_link_prr(
+                link, shared_cell=True, repetition_range=window),
+            contention_free_prr=stats.overall_link_prr(
+                link, shared_cell=False, repetition_range=window),
+        )
+    return EpochReport(epoch=epoch, links=link_reports)
+
+
 def build_epoch_reports(stats: SimulationStats,
                         repetitions_per_epoch: int = SAMPLES_PER_EPOCH,
                         ) -> List[EpochReport]:
@@ -72,28 +109,136 @@ def build_epoch_reports(stats: SimulationStats,
     if repetitions_per_epoch <= 0:
         raise ValueError("repetitions_per_epoch must be positive")
     num_epochs = len(stats.repetitions) // repetitions_per_epoch
-    links = stats.links_seen()
-    reports = []
-    for epoch in range(num_epochs):
-        window = (epoch * repetitions_per_epoch,
-                  (epoch + 1) * repetitions_per_epoch)
-        link_reports = {}
-        for link in links:
-            reuse_samples = tuple(
-                stats.link_prr_samples(link, shared_cell=True,
-                                       repetition_range=window))
-            cf_samples = tuple(
-                stats.link_prr_samples(link, shared_cell=False,
-                                       repetition_range=window))
-            link_reports[link] = LinkEpochReport(
-                link=link,
-                epoch=epoch,
-                reuse_samples=reuse_samples,
-                contention_free_samples=cf_samples,
-                reuse_prr=stats.overall_link_prr(
-                    link, shared_cell=True, repetition_range=window),
-                contention_free_prr=stats.overall_link_prr(
-                    link, shared_cell=False, repetition_range=window),
-            )
-        reports.append(EpochReport(epoch=epoch, links=link_reports))
-    return reports
+    return [
+        build_epoch_report(stats, epoch,
+                           (epoch * repetitions_per_epoch,
+                            (epoch + 1) * repetitions_per_epoch))
+        for epoch in range(num_epochs)
+    ]
+
+
+class StreamingHealthMonitor:
+    """Per-epoch verdict accumulation with warm-up and re-test hysteresis.
+
+    The offline detection experiment classifies each epoch in isolation;
+    a live network manager must not: a single-epoch K-S rejection can be
+    a sampling artifact, and remediation (rebuilding the schedule)
+    perturbs every link's environment, so verdicts from before an action
+    say nothing about the schedule running after it.  The monitor
+    therefore:
+
+    * ignores everything during an initial **warm-up** (the paper's
+      manager also waits for reports to accumulate before acting);
+    * requires ``confirm_epochs`` *consecutive* identical verdicts
+      before confirming a link (REJECT streak → reuse victim, ACCEPT
+      streak → external/other cause);
+    * after :meth:`note_action`, enters a **cooldown** during which all
+      streaks restart from zero — the re-test hysteresis that prevents
+      the manager from thrashing on pre-action evidence.
+
+    Besides the two K-S verdicts the monitor tracks a third streak:
+    **suspects** — links whose reuse-slot PRR is deeply degraded
+    (below ``suspect_prr``) but that never transmit in contention-free
+    cells, so the K-S test has no baseline to compare against
+    (``INSUFFICIENT_DATA``).  The paper's policy cannot attribute their
+    degradation; a live manager still has to act on them, and moving
+    such a link out of shared cells is simultaneously the remedy (if
+    reuse was the cause) and the missing experiment (afterwards the link
+    produces exactly the contention-free baseline it lacked).
+
+    Links that stop appearing in an epoch's diagnoses (e.g. they were
+    rescheduled out of shared cells) drop their streaks.
+    """
+
+    def __init__(self, warmup_epochs: int = 1, confirm_epochs: int = 2,
+                 cooldown_epochs: int = 1, suspect_prr: float = 0.7):
+        if warmup_epochs < 0 or cooldown_epochs < 0:
+            raise ValueError("warm-up/cooldown must be non-negative")
+        if confirm_epochs < 1:
+            raise ValueError("confirm_epochs must be at least 1")
+        if not 0.0 <= suspect_prr <= 1.0:
+            raise ValueError("suspect_prr must be in [0, 1]")
+        self.warmup_epochs = warmup_epochs
+        self.confirm_epochs = confirm_epochs
+        self.cooldown_epochs = cooldown_epochs
+        self.suspect_prr = suspect_prr
+        self._reject_streak: Dict[Link, int] = {}
+        self._accept_streak: Dict[Link, int] = {}
+        self._suspect_streak: Dict[Link, int] = {}
+        self._last_action_epoch: Optional[int] = None
+
+    def in_warmup(self, epoch: int) -> bool:
+        """Whether the epoch falls inside the initial warm-up."""
+        return epoch < self.warmup_epochs
+
+    def in_cooldown(self, epoch: int) -> bool:
+        """Whether the epoch falls inside a post-action cooldown."""
+        return (self._last_action_epoch is not None
+                and epoch - self._last_action_epoch <= self.cooldown_epochs)
+
+    def actionable(self, epoch: int) -> bool:
+        """Whether confirmed findings may trigger remediation this epoch."""
+        return not (self.in_warmup(epoch) or self.in_cooldown(epoch))
+
+    def observe(self, diagnoses) -> None:
+        """Fold one epoch's diagnoses into the verdict streaks.
+
+        Args:
+            diagnoses: ``LinkDiagnosis`` sequence from
+                :func:`repro.detection.classifier.diagnose_epoch`.
+        """
+        from repro.detection.classifier import Verdict
+
+        rejected: Set[Link] = set()
+        accepted: Set[Link] = set()
+        suspect: Set[Link] = set()
+        for diagnosis in diagnoses:
+            if diagnosis.verdict is Verdict.REJECT:
+                rejected.add(diagnosis.link)
+            elif diagnosis.verdict is Verdict.ACCEPT:
+                accepted.add(diagnosis.link)
+            elif (diagnosis.verdict is Verdict.INSUFFICIENT_DATA
+                  and diagnosis.reuse_prr is not None
+                  and diagnosis.reuse_prr < self.suspect_prr):
+                suspect.add(diagnosis.link)
+        self._reject_streak = {
+            link: self._reject_streak.get(link, 0) + 1 for link in rejected}
+        self._accept_streak = {
+            link: self._accept_streak.get(link, 0) + 1 for link in accepted}
+        self._suspect_streak = {
+            link: self._suspect_streak.get(link, 0) + 1 for link in suspect}
+
+    def confirmed_reuse_victims(self) -> List[Link]:
+        """Links whose REJECT streak reached the confirmation length."""
+        return sorted(link for link, streak in self._reject_streak.items()
+                      if streak >= self.confirm_epochs)
+
+    def confirmed_external(self) -> List[Link]:
+        """Links whose ACCEPT streak reached the confirmation length.
+
+        These are degraded in reuse *and* contention-free slots alike —
+        the K-S test attributes the damage to something other than
+        channel reuse (external interference, fading), so rescheduling
+        them away from shared cells would not help.
+        """
+        return sorted(link for link, streak in self._accept_streak.items()
+                      if streak >= self.confirm_epochs)
+
+    def confirmed_suspects(self) -> List[Link]:
+        """Deeply degraded reuse-only links with a confirmed streak.
+
+        These sustained ``reuse_prr < suspect_prr`` for the confirmation
+        length while never producing a contention-free baseline — the
+        K-S test cannot attribute them, so they are *suspects*, not
+        confirmed victims.  Barring them from reuse is the only move
+        that both remediates and completes the missing experiment.
+        """
+        return sorted(link for link, streak in self._suspect_streak.items()
+                      if streak >= self.confirm_epochs)
+
+    def note_action(self, epoch: int) -> None:
+        """Record that remediation ran; restart streaks and cool down."""
+        self._last_action_epoch = epoch
+        self._reject_streak.clear()
+        self._accept_streak.clear()
+        self._suspect_streak.clear()

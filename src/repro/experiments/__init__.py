@@ -1,5 +1,10 @@
 """Per-figure experiment runners reproducing the paper's evaluation."""
 
+from repro.experiments.adaptation import (
+    DEFAULT_ADAPTATION_POLICIES,
+    format_adaptation,
+    run_adaptation,
+)
 from repro.experiments.common import (
     POLICY_NAMES,
     PreparedNetwork,
@@ -32,6 +37,7 @@ from repro.experiments.schedulability import (
 )
 
 __all__ = [
+    "DEFAULT_ADAPTATION_POLICIES",
     "DEFAULT_FLOW_MIX",
     "DetectionOutcome",
     "POLICY_NAMES",
@@ -43,10 +49,12 @@ __all__ = [
     "build_detection_flow_set",
     "build_reliability_flow_set",
     "build_workload",
+    "format_adaptation",
     "make_policy",
     "parallel_map",
     "prepare_network",
     "resolve_workers",
+    "run_adaptation",
     "run_detection",
     "run_reliability",
     "run_sweep",

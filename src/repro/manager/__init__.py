@@ -1,0 +1,64 @@
+"""Closed-loop network manager runtime.
+
+The paper's Section VI detection policy exists to drive remediation —
+"links can be reassigned to different channels or time slots" once the
+K-S test attributes degradation to channel reuse.  This package closes
+that loop: a :class:`~repro.manager.loop.NetworkManager` advances the
+simulator in health-report epochs under a seeded fault timeline
+(:mod:`repro.manager.faults`), feeds each epoch's PRR distributions into
+the streaming K-S monitor, and applies a pluggable remediation policy
+(:mod:`repro.manager.policies`) — reschedule the victims, blacklist a
+polluted channel, escalate the reuse hop floor, or do nothing.
+
+Entry points: ``python -m repro manage`` (one policy, epoch-by-epoch
+report) and ``python -m repro adapt`` (the Fig 8-style NoOp-vs-policies
+PDR comparison in :mod:`repro.experiments.adaptation`).
+"""
+
+from repro.manager.faults import (
+    ConditionSchedule,
+    FAULT_KINDS,
+    FaultEvent,
+    SCENARIO_PRESETS,
+    load_scenario,
+    resolve_scenario,
+)
+from repro.manager.loop import (
+    EpochOutcome,
+    ManagerConfig,
+    ManagerReport,
+    NetworkManager,
+    run_manager,
+)
+from repro.manager.policies import (
+    Action,
+    BlacklistChannel,
+    EscalateRho,
+    MANAGER_POLICIES,
+    NoOp,
+    Observation,
+    RescheduleVictims,
+    make_manager_policy,
+)
+
+__all__ = [
+    "Action",
+    "BlacklistChannel",
+    "ConditionSchedule",
+    "EpochOutcome",
+    "EscalateRho",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "MANAGER_POLICIES",
+    "ManagerConfig",
+    "ManagerReport",
+    "NetworkManager",
+    "NoOp",
+    "Observation",
+    "RescheduleVictims",
+    "SCENARIO_PRESETS",
+    "load_scenario",
+    "make_manager_policy",
+    "resolve_scenario",
+    "run_manager",
+]

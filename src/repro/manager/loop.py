@@ -1,0 +1,448 @@
+"""The closed-loop network-manager runtime.
+
+:class:`NetworkManager` advances a simulated WirelessHART network in
+health-report epochs.  Each epoch it (1) resolves the fault scenario
+into a :class:`~repro.simulator.conditions.Conditions` overlay, (2)
+executes the current schedule for one epoch's worth of hyperperiods with
+the ASN continuing where the previous epoch stopped, (3) feeds the
+epoch's PRR distributions through the K-S detection policy and the
+:class:`~repro.detection.health.StreamingHealthMonitor`, and (4) lets a
+remediation policy decide whether to rebuild the schedule — barring
+victims from reuse, blacklisting a channel, or raising ρ_t.
+
+Everything is deterministic: given the same (topology, scenario, policy,
+seed) the epoch-by-epoch :class:`ManagerReport` is bit-identical, for
+any ``--workers`` fan-out (seeds derive from the trial key alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.core.ra import DEFAULT_RHO_T
+from repro.core.reschedule import reschedule_without_reuse_on
+from repro.core.schedule import Schedule
+from repro.detection.classifier import (
+    DetectionConfig,
+    Verdict,
+    diagnose_epoch,
+)
+from repro.detection.health import (
+    SAMPLES_PER_EPOCH,
+    StreamingHealthMonitor,
+    build_epoch_report,
+)
+from repro.experiments.common import (
+    PreparedNetwork,
+    make_policy,
+    prepare_network,
+    schedule_workload,
+)
+from repro.experiments.detection_exp import build_detection_flow_set
+from repro.experiments.parallel import parallel_map
+from repro.flows.flow import FlowSet
+from repro.mac.channels import ChannelMap
+from repro.manager.faults import (
+    ConditionSchedule,
+    ScenarioResolver,
+    resolve_scenario,
+)
+from repro.manager.policies import Action, Observation, make_manager_policy
+from repro.network.topology import Topology
+from repro.obs import recorder as _obs
+from repro.simulator.engine import SimulationConfig, TschSimulator
+from repro.simulator.stats import Link
+from repro.testbeds.layout import FloorPlan
+from repro.testbeds.synth import RadioEnvironment
+
+#: Default hopping set for manager runs: the paper's reliability channels
+#: (11-14, all overlapped by WiFi channel 1) plus channel 15, which WiFi
+#: channel 1 leaves clean — giving the blacklist policy somewhere to go.
+MANAGE_CHANNELS = (11, 12, 13, 14, 15)
+
+
+@dataclass(frozen=True)
+class ManagerConfig:
+    """Parameters of one manager run.
+
+    Attributes:
+        scenario: Fault timeline — a preset name, a scenario-JSON path,
+            or a :class:`ConditionSchedule`.
+        policy: Remediation policy — a name from
+            :data:`~repro.manager.policies.MANAGER_POLICIES` or an
+            instance.
+        scheduler_policy: Placement policy building the schedules
+            ("NR" / "RA" / "RC").
+        rho_t: Initial reuse hop floor for RA / RC.
+        num_epochs: Health-report epochs to run.
+        repetitions_per_epoch: Hyperperiods per epoch (18 matches the
+            paper's 15-minute reports at a 1 s top period).
+        num_flows: Peer-to-peer 1 s flows in the workload.
+        channels: Physical channels the network hops over.
+        seed: Base seed (workload, simulation, and fault resolution all
+            derive from it deterministically).
+        detection: K-S detection parameters.
+        warmup_epochs / confirm_epochs / cooldown_epochs: Streaming
+            monitor hysteresis (see
+            :class:`~repro.detection.health.StreamingHealthMonitor`).
+    """
+
+    scenario: Union[str, ConditionSchedule] = "reuse-storm"
+    policy: Any = "noop"
+    scheduler_policy: str = "RC"
+    rho_t: int = DEFAULT_RHO_T
+    num_epochs: int = 8
+    repetitions_per_epoch: int = SAMPLES_PER_EPOCH
+    num_flows: int = 80
+    channels: Tuple[int, ...] = MANAGE_CHANNELS
+    seed: int = 0
+    detection: DetectionConfig = DetectionConfig()
+    warmup_epochs: int = 2
+    confirm_epochs: int = 2
+    cooldown_epochs: int = 1
+    suspect_prr: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.num_epochs < 1:
+            raise ValueError("num_epochs must be positive")
+        if self.repetitions_per_epoch < 1:
+            raise ValueError("repetitions_per_epoch must be positive")
+        object.__setattr__(self, "channels", tuple(self.channels))
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """Everything the manager recorded about one epoch.
+
+    Attributes:
+        epoch: Epoch index.
+        conditions: Human-readable overlay summary
+            (:meth:`repro.simulator.conditions.Conditions.describe`).
+        median_pdr / worst_pdr: Per-flow PDR statistics for this epoch's
+            repetitions only.
+        num_reuse_links: Links sharing cells in the schedule this epoch
+            ran under.
+        num_reject / num_accept: This epoch's raw K-S verdict counts.
+        confirmed_victims: Streak-confirmed reuse-degraded links.
+        confirmed_external: Streak-confirmed other-cause links.
+        confirmed_suspects: Streak-confirmed degraded reuse-only links
+            the K-S test could not attribute.
+        action: Short action label (``None`` when the policy held still).
+        action_reason: The policy's trigger summary.
+        action_applied: Whether the rebuild succeeded (a failed rebuild
+            keeps the previous schedule running).
+        num_channels / rho_t: Network state *after* the epoch's action.
+    """
+
+    epoch: int
+    conditions: str
+    median_pdr: float
+    worst_pdr: float
+    num_reuse_links: int
+    num_reject: int
+    num_accept: int
+    confirmed_victims: Tuple[Link, ...]
+    confirmed_external: Tuple[Link, ...]
+    confirmed_suspects: Tuple[Link, ...]
+    action: Optional[str]
+    action_reason: str
+    action_applied: bool
+    num_channels: int
+    rho_t: int
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (links become 2-lists)."""
+        return {
+            "epoch": self.epoch,
+            "conditions": self.conditions,
+            "median_pdr": self.median_pdr,
+            "worst_pdr": self.worst_pdr,
+            "num_reuse_links": self.num_reuse_links,
+            "num_reject": self.num_reject,
+            "num_accept": self.num_accept,
+            "confirmed_victims": [list(l) for l in self.confirmed_victims],
+            "confirmed_external": [list(l) for l in self.confirmed_external],
+            "confirmed_suspects": [list(l) for l in self.confirmed_suspects],
+            "action": self.action,
+            "action_reason": self.action_reason,
+            "action_applied": self.action_applied,
+            "num_channels": self.num_channels,
+            "rho_t": self.rho_t,
+        }
+
+
+@dataclass
+class ManagerReport:
+    """Epoch-by-epoch record of one manager run.
+
+    The :meth:`to_dict` form is the determinism artifact: two runs with
+    the same (topology, scenario, policy, seed) must produce identical
+    dicts, regardless of worker counts elsewhere in the sweep.
+    """
+
+    scenario: str
+    policy: str
+    scheduler_policy: str
+    seed: int
+    epochs: List[EpochOutcome] = field(default_factory=list)
+    barred_links: Tuple[Link, ...] = ()
+    final_channels: Tuple[int, ...] = ()
+    final_rho_t: int = DEFAULT_RHO_T
+
+    def median_pdr_series(self) -> List[float]:
+        """Median per-flow PDR, per epoch (the Fig 8-style y-axis)."""
+        return [outcome.median_pdr for outcome in self.epochs]
+
+    def worst_pdr_series(self) -> List[float]:
+        """Worst-case per-flow PDR, per epoch."""
+        return [outcome.worst_pdr for outcome in self.epochs]
+
+    def actions_taken(self) -> List[Tuple[int, str]]:
+        """(epoch, action label) for every applied action."""
+        return [(o.epoch, o.action) for o in self.epochs
+                if o.action is not None and o.action_applied]
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form."""
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "scheduler_policy": self.scheduler_policy,
+            "seed": self.seed,
+            "epochs": [outcome.to_dict() for outcome in self.epochs],
+            "barred_links": [list(l) for l in self.barred_links],
+            "final_channels": list(self.final_channels),
+            "final_rho_t": self.final_rho_t,
+        }
+
+
+class NetworkManager:
+    """Runs one closed manage loop over a prepared testbed.
+
+    Args:
+        topology: Full testbed topology (all synthesized channels — the
+            manager restricts it itself, and blacklisting re-restricts).
+        environment: Ground-truth RF environment.
+        plan: Building geometry (fault interferer placement).
+        config: Run parameters.
+    """
+
+    def __init__(self, topology: Topology, environment: RadioEnvironment,
+                 plan: FloorPlan, config: ManagerConfig = ManagerConfig()):
+        self.topology = topology
+        self.environment = environment
+        self.plan = plan
+        self.config = config
+        self.scenario = resolve_scenario(config.scenario)
+        self.policy = make_manager_policy(config.policy)
+
+    # ------------------------------------------------------------------
+    # Schedule (re)construction
+    # ------------------------------------------------------------------
+
+    def _initial_state(self) -> Tuple[PreparedNetwork, FlowSet, Schedule]:
+        """Prepare the network, draw the workload, build the schedule."""
+        network = prepare_network(self.topology,
+                                  channels=self.config.channels)
+        rng = np.random.default_rng(self.config.seed)
+        flow_set = build_detection_flow_set(network, rng,
+                                            self.config.num_flows)
+        result = schedule_workload(network, flow_set,
+                                   self.config.scheduler_policy,
+                                   self.config.rho_t)
+        if not result.schedulable:
+            raise RuntimeError(
+                f"initial workload unschedulable "
+                f"({self.config.num_flows} flows, "
+                f"{len(self.config.channels)} channels, "
+                f"{self.config.scheduler_policy}, "
+                f"rho_t={self.config.rho_t}) — reduce --flows or add "
+                f"channels")
+        return network, flow_set, result.schedule
+
+    def _rebuild(self, network: PreparedNetwork, flow_set: FlowSet,
+                 rho_t: int, barred: Set[Link]) -> Optional[Schedule]:
+        """Rebuild the schedule under the current remediation state.
+
+        Returns ``None`` when the rebuild is unschedulable (the caller
+        keeps the old schedule running — a live network cannot stop).
+        """
+        result = reschedule_without_reuse_on(
+            flow_set, network.topology.num_nodes, network.num_channels,
+            network.reuse, make_policy(self.config.scheduler_policy, rho_t),
+            barred)
+        return result.schedule if result.schedulable else None
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> ManagerReport:
+        """Execute the manage loop and return its epoch-by-epoch report."""
+        config = self.config
+        network, flow_set, schedule = self._initial_state()
+        resolver = ScenarioResolver(self.scenario, self.environment,
+                                    self.plan, seed=config.seed)
+        monitor = StreamingHealthMonitor(
+            warmup_epochs=config.warmup_epochs,
+            confirm_epochs=config.confirm_epochs,
+            cooldown_epochs=config.cooldown_epochs,
+            suspect_prr=config.suspect_prr)
+        report = ManagerReport(
+            scenario=self.scenario.name, policy=self.policy.name,
+            scheduler_policy=config.scheduler_policy, seed=config.seed)
+
+        rho_t = config.rho_t
+        barred: Set[Link] = set()
+        for epoch in range(config.num_epochs):
+            conditions = resolver.conditions_for(epoch)
+            simulator = TschSimulator(
+                schedule=schedule, flow_set=flow_set,
+                environment=self.environment,
+                channel_map=network.topology.channel_map,
+                config=SimulationConfig(
+                    seed=(config.seed + 1) * 1_000_003 + epoch),
+                conditions=conditions)
+            stats = simulator.run(
+                config.repetitions_per_epoch,
+                start_repetition=epoch * config.repetitions_per_epoch)
+
+            epoch_report = build_epoch_report(stats, epoch)
+            diagnoses = diagnose_epoch(epoch_report, config.detection)
+            monitor.observe(diagnoses)
+            observation = Observation(
+                epoch=epoch, report=epoch_report, diagnoses=diagnoses,
+                confirmed_victims=monitor.confirmed_reuse_victims(),
+                confirmed_external=monitor.confirmed_external(),
+                confirmed_suspects=monitor.confirmed_suspects(),
+                channel_prr=stats.channel_prr(),
+                actionable=monitor.actionable(epoch),
+                rho_t=rho_t, num_channels=network.num_channels,
+                barred_links=tuple(sorted(barred)))
+
+            action = self.policy.decide(observation)
+            applied = False
+            if action is not None:
+                applied, network, schedule, rho_t = self._apply(
+                    action, network, flow_set, schedule, rho_t, barred)
+                # Cooldown regardless of success: pre-action streaks are
+                # stale either way, and retry spacing prevents thrash.
+                monitor.note_action(epoch)
+
+            outcome = EpochOutcome(
+                epoch=epoch, conditions=conditions.describe(),
+                median_pdr=stats.median_pdr(), worst_pdr=stats.worst_pdr(),
+                num_reuse_links=len(schedule.reuse_links()),
+                num_reject=sum(d.verdict is Verdict.REJECT
+                               for d in diagnoses),
+                num_accept=sum(d.verdict is Verdict.ACCEPT
+                               for d in diagnoses),
+                confirmed_victims=tuple(observation.confirmed_victims),
+                confirmed_external=tuple(observation.confirmed_external),
+                confirmed_suspects=tuple(observation.confirmed_suspects),
+                action=action.describe() if action else None,
+                action_reason=action.reason if action else "",
+                action_applied=applied,
+                num_channels=network.num_channels, rho_t=rho_t)
+            report.epochs.append(outcome)
+
+            if _obs.ENABLED:
+                _obs.RECORDER.count("manager.epochs")
+                if action is not None:
+                    _obs.RECORDER.count(f"manager.action.{action.kind}")
+                    if applied:
+                        _obs.RECORDER.count("manager.actions_applied")
+                _obs.RECORDER.event(
+                    "manager_epoch", epoch=epoch, policy=self.policy.name,
+                    conditions=conditions.describe(),
+                    median_pdr=outcome.median_pdr,
+                    worst_pdr=outcome.worst_pdr,
+                    num_reject=outcome.num_reject,
+                    num_accept=outcome.num_accept,
+                    action=outcome.action, action_applied=applied,
+                    action_reason=outcome.action_reason)
+
+        report.barred_links = tuple(sorted(barred))
+        report.final_channels = tuple(network.topology.channel_map)
+        report.final_rho_t = rho_t
+        return report
+
+    def _apply(self, action: Action, network: PreparedNetwork,
+               flow_set: FlowSet, schedule: Schedule, rho_t: int,
+               barred: Set[Link],
+               ) -> Tuple[bool, PreparedNetwork, Schedule, int]:
+        """Apply one action; on failure every state change is rolled back.
+
+        ``barred`` is mutated in place (the accumulated no-reuse set);
+        network / schedule / rho_t are returned.
+        """
+        if action.kind == "reschedule":
+            added = set(action.victims) - barred
+            barred |= added
+            rebuilt = self._rebuild(network, flow_set, rho_t, barred)
+            if rebuilt is None:
+                barred -= added
+                return False, network, schedule, rho_t
+            return True, network, rebuilt, rho_t
+
+        if action.kind == "blacklist":
+            remaining = tuple(ch for ch in network.topology.channel_map
+                              if ch != action.channel)
+            if not remaining:
+                return False, network, schedule, rho_t
+            # Keep the original routes (the flow set is already routed)
+            # and rebuild on the reduced hopping set.  The reuse graph is
+            # re-derived from the restricted topology; route quality is
+            # re-assessed only at the next full (re)provisioning — the
+            # standard WirelessHART split between the fast blacklist
+            # path and slow route maintenance.
+            new_network = prepare_network(self.topology, channels=remaining)
+            rebuilt = self._rebuild(new_network, flow_set, rho_t, barred)
+            if rebuilt is None:
+                return False, network, schedule, rho_t
+            return True, new_network, rebuilt, rho_t
+
+        if action.kind == "escalate_rho":
+            new_rho = action.rho_t if action.rho_t is not None else rho_t
+            rebuilt = self._rebuild(network, flow_set, new_rho, barred)
+            if rebuilt is None:
+                return False, network, schedule, rho_t
+            return True, network, rebuilt, new_rho
+
+        raise ValueError(f"unknown action kind: {action.kind!r}")
+
+
+def _manager_trial(context: Dict[str, Any], seed: int) -> ManagerReport:
+    """One manager run for one seed (the :func:`parallel_map` trial)."""
+    config: ManagerConfig = replace(context["config"], seed=seed)
+    manager = NetworkManager(context["topology"], context["environment"],
+                             context["plan"], config)
+    return manager.run()
+
+
+def run_manager(topology: Topology, environment: RadioEnvironment,
+                plan: FloorPlan, config: ManagerConfig = ManagerConfig(),
+                *, seeds: Optional[Sequence[int]] = None,
+                workers: int = 1) -> List[ManagerReport]:
+    """Run the manage loop for one or more seeds.
+
+    Args:
+        topology: Full testbed topology.
+        environment: Its RF environment.
+        plan: Building geometry.
+        config: Run parameters (``config.seed`` is overridden per trial).
+        seeds: Seeds to fan out over; ``None`` runs just ``config.seed``.
+        workers: Worker processes (``0`` = all CPUs).  Reports are
+            bit-identical for any worker count.
+
+    Returns:
+        One :class:`ManagerReport` per seed, in ``seeds`` order.
+    """
+    trial_seeds = list(seeds) if seeds is not None else [config.seed]
+    context = {"topology": topology, "environment": environment,
+               "plan": plan, "config": config}
+    return parallel_map(_manager_trial, trial_seeds, workers=workers,
+                        context=context)

@@ -11,10 +11,15 @@ environment of a synthetic testbed:
 * Reception is SINR-based: concurrent same-channel transmitters and any
   active WiFi interferers add power at the receiver, and the
   802.15.4 PRR curve (capture effect included) decides success.
+* An optional :class:`~repro.simulator.conditions.Conditions` overlay
+  mutates the environment for one run — extra interferers, per-pair
+  attenuation, amplified reuse interference, dark nodes — which is how
+  the network manager injects faults between health-report epochs.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,6 +30,7 @@ from repro.flows.flow import FlowSet
 from repro.mac.channels import ChannelMap
 from repro.obs import recorder as _obs
 from repro.obs.profiling import timed as _timed
+from repro.simulator.conditions import Conditions
 from repro.simulator.interference import WifiInterferer
 from repro.propagation.prr_model import get_prr_curve
 from repro.simulator.radio import sinr_at_receiver
@@ -81,6 +87,50 @@ class _CompiledEntry:
     shared_cell: bool
 
 
+#: Compiled-entry cache: schedule -> (entry count, compiled dict).  The
+#: manager loop re-instantiates a simulator every epoch (conditions
+#: change) against the *same* schedule object; compiling once per
+#: schedule instead of once per simulator keeps the epoch loop cheap.
+#: Keyed weakly so dropped schedules free their compilation, and guarded
+#: by the entry count so a mutated schedule (``Schedule.add`` only ever
+#: appends) recompiles instead of serving stale cells.  A reschedule
+#: produces a brand-new Schedule object, which misses the cache by
+#: identity — invalidation is automatic.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Schedule, Tuple[int, Dict[int, List[_CompiledEntry]]]]" = (
+    weakref.WeakKeyDictionary())
+
+
+def _compile(schedule: Schedule) -> Dict[int, List[_CompiledEntry]]:
+    """Pre-resolve schedule entries per slot for the hot loop."""
+    compiled: Dict[int, List[_CompiledEntry]] = {}
+    shared_cells = {(s, c) for s, c, txs in schedule.occupied_cells()
+                    if len(txs) > 1}
+    for slot, entries in schedule.entries_by_slot().items():
+        compiled[slot] = [
+            _CompiledEntry(
+                sender=e.request.sender,
+                receiver=e.request.receiver,
+                offset=e.offset,
+                flow_id=e.request.flow_id,
+                instance=e.request.instance,
+                hop_index=e.request.hop_index,
+                shared_cell=(slot, e.offset) in shared_cells,
+            )
+            for e in entries
+        ]
+    return compiled
+
+
+def compiled_entries(schedule: Schedule) -> Dict[int, List[_CompiledEntry]]:
+    """The schedule's compiled per-slot entries, cached across simulators."""
+    cached = _COMPILE_CACHE.get(schedule)
+    if cached is not None and cached[0] == len(schedule):
+        return cached[1]
+    compiled = _compile(schedule)
+    _COMPILE_CACHE[schedule] = (len(schedule), compiled)
+    return compiled
+
+
 class TschSimulator:
     """Executes a schedule repeatedly and collects delivery statistics.
 
@@ -97,13 +147,18 @@ class TschSimulator:
             ``interferers`` is non-empty (see
             :func:`repro.simulator.interference.interferer_rssi_matrix`).
         config: Execution parameters.
+        conditions: Optional environment overlay for this simulator's
+            runs (fault injection; see
+            :mod:`repro.simulator.conditions`).  ``None`` keeps the
+            pristine environment and the exact legacy behaviour.
     """
 
     def __init__(self, schedule: Schedule, flow_set: FlowSet,
                  environment: RadioEnvironment, channel_map: ChannelMap,
                  interferers: Sequence[WifiInterferer] = (),
                  interferer_rssi_dbm: Optional[np.ndarray] = None,
-                 config: SimulationConfig = SimulationConfig()):
+                 config: SimulationConfig = SimulationConfig(),
+                 conditions: Optional[Conditions] = None):
         if interferers and interferer_rssi_dbm is None:
             raise ValueError(
                 "interferer_rssi_dbm is required when interferers are given")
@@ -118,9 +173,21 @@ class TschSimulator:
         self.flow_set = flow_set
         self.environment = environment
         self.channel_map = channel_map
-        self.interferers = list(interferers)
-        self.interferer_rssi_dbm = interferer_rssi_dbm
         self.config = config
+        self.conditions = conditions if conditions is not None else Conditions()
+
+        # Merge condition-injected interferers behind the base ones so
+        # the per-slot activity draws stay in a deterministic order.
+        self.interferers = (list(interferers)
+                            + list(self.conditions.extra_interferers))
+        extra_rssi = self.conditions.extra_interferer_rssi_dbm
+        if extra_rssi is not None and interferer_rssi_dbm is not None:
+            self.interferer_rssi_dbm = np.vstack(
+                [interferer_rssi_dbm, extra_rssi])
+        elif extra_rssi is not None:
+            self.interferer_rssi_dbm = extra_rssi
+        else:
+            self.interferer_rssi_dbm = interferer_rssi_dbm
 
         self._hyperperiod = flow_set.hyperperiod()
         self._num_offsets = schedule.num_offsets
@@ -141,42 +208,31 @@ class TschSimulator:
         self._interferer_channels = [set(i.affected_channels())
                                      for i in self.interferers]
 
-        self._compiled = self._compile()
+        self._compiled = compiled_entries(schedule)
 
-    def _compile(self) -> Dict[int, List[_CompiledEntry]]:
-        """Pre-resolve schedule entries per slot for the hot loop."""
-        compiled: Dict[int, List[_CompiledEntry]] = {}
-        shared_cells = {(s, c) for s, c, txs in self.schedule.occupied_cells()
-                        if len(txs) > 1}
-        for slot, entries in self.schedule.entries_by_slot().items():
-            compiled[slot] = [
-                _CompiledEntry(
-                    sender=e.request.sender,
-                    receiver=e.request.receiver,
-                    offset=e.offset,
-                    flow_id=e.request.flow_id,
-                    instance=e.request.instance,
-                    hop_index=e.request.hop_index,
-                    shared_cell=(slot, e.offset) in shared_cells,
-                )
-                for e in entries
-            ]
-        return compiled
-
-    def run(self, repetitions: int = 100) -> SimulationStats:
+    def run(self, repetitions: int = 100,
+            start_repetition: int = 0) -> SimulationStats:
         """Execute the schedule ``repetitions`` times.
 
         Each repetition replays one full hyperperiod with a fresh release
         of every flow instance; the ASN keeps advancing across
         repetitions, so channel hopping visits different physical channels
         each time (as on the real network).
+
+        Args:
+            repetitions: Hyperperiods to execute.
+            start_repetition: Global repetition index of the first
+                hyperperiod.  The manager loop advances this across
+                epochs so the ASN (and hence the hop pattern) keeps
+                progressing even though each epoch builds a fresh
+                simulator.
         """
         if repetitions <= 0:
             raise ValueError("repetitions must be positive")
         with _timed("phase.simulate"):
-            return self._run(repetitions)
+            return self._run(repetitions, start_repetition)
 
-    def _run(self, repetitions: int) -> SimulationStats:
+    def _run(self, repetitions: int, start_repetition: int) -> SimulationStats:
         rng = np.random.default_rng(self.config.seed)
         stats = SimulationStats()
         sorted_slots = sorted(self._compiled)
@@ -186,6 +242,9 @@ class TschSimulator:
         noise = self.environment.noise_floor_dbm
 
         slow_sigma = self.config.slow_fading_sigma_db
+        attenuation = self.conditions.pair_attenuation_db
+        boost = self.conditions.interference_boost_db
+        dark = self.conditions.dark_nodes
 
         for repetition in range(repetitions):
             record = stats.start_repetition()
@@ -211,7 +270,7 @@ class TschSimulator:
             for flow_id, count in self._instances_per_flow.items():
                 stats.record_release(flow_id, count)
 
-            base_asn = repetition * self._hyperperiod
+            base_asn = (start_repetition + repetition) * self._hyperperiod
             for slot in sorted_slots:
                 active = [
                     entry for entry in self._compiled[slot]
@@ -224,6 +283,12 @@ class TschSimulator:
 
                 by_channel: Dict[int, List[_CompiledEntry]] = {}
                 for entry in active:
+                    if entry.sender in dark:
+                        # A powered-off sender never puts the frame on
+                        # the air: the attempt fails without radiating.
+                        record.record((entry.sender, entry.receiver),
+                                      entry.shared_cell, False)
+                        continue
                     logical = (asn + entry.offset) % num_logical
                     channel = self.channel_map.physical(logical)
                     by_channel.setdefault(channel, []).append(entry)
@@ -239,7 +304,9 @@ class TschSimulator:
                         signal = (rssi[entry.sender, entry.receiver,
                                        env_channel]
                                   + pair_drift(entry.sender, entry.receiver)
-                                  + rng.normal(0.0, fading_sigma))
+                                  + rng.normal(0.0, fading_sigma)
+                                  - attenuation.get(
+                                      (entry.sender, entry.receiver), 0.0))
                         interference = []
                         for other in concurrent:
                             if other is entry:
@@ -248,7 +315,10 @@ class TschSimulator:
                                 rssi[other.sender, entry.receiver,
                                      env_channel]
                                 + pair_drift(other.sender, entry.receiver)
-                                + rng.normal(0.0, fading_sigma))
+                                + rng.normal(0.0, fading_sigma)
+                                + boost
+                                - attenuation.get(
+                                    (other.sender, entry.receiver), 0.0))
                         for index in active_interferers:
                             if channel in self._interferer_channels[index]:
                                 interference.append(
@@ -257,9 +327,13 @@ class TschSimulator:
                                     + rng.normal(0.0, fading_sigma))
 
                         sinr = sinr_at_receiver(signal, noise, interference)
-                        success = rng.random() < self._lookup(sinr)
+                        if entry.receiver in dark:
+                            success = False
+                        else:
+                            success = rng.random() < self._lookup(sinr)
                         record.record((entry.sender, entry.receiver),
-                                      entry.shared_cell, success)
+                                      entry.shared_cell, success,
+                                      channel=channel)
                         if recorder is not None:
                             rep_attempts += 1
                             rep_successes += success

@@ -53,11 +53,26 @@ class RepetitionRecord:
         default_factory=lambda: defaultdict(AttemptCounter))
     contention_free: Dict[Link, AttemptCounter] = field(
         default_factory=lambda: defaultdict(AttemptCounter))
+    channels: Dict[int, AttemptCounter] = field(
+        default_factory=lambda: defaultdict(AttemptCounter))
 
-    def record(self, link: Link, shared_cell: bool, success: bool) -> None:
-        """Record one attempt on a link."""
+    def record(self, link: Link, shared_cell: bool, success: bool,
+               channel: Optional[int] = None) -> None:
+        """Record one attempt on a link.
+
+        Args:
+            link: The directed link.
+            shared_cell: Whether the cell is shared (channel reuse).
+            success: Whether the frame was received.
+            channel: Physical channel the attempt used, when it went on
+                the air (None for attempts that never radiated, e.g. a
+                powered-off sender) — feeds the per-channel view the
+                network manager's blacklist policy consumes.
+        """
         bucket = self.reuse if shared_cell else self.contention_free
         bucket[link].record(success)
+        if channel is not None:
+            self.channels[channel].record(success)
 
 
 class SimulationStats:
@@ -166,3 +181,31 @@ class SimulationStats:
             if counter is not None:
                 total.merge(counter)
         return total.prr
+
+    # ------------------------------------------------------------------
+    # Per-channel metrics (network-manager view)
+    # ------------------------------------------------------------------
+
+    def channel_counters(self, repetition_range: Optional[Tuple[int, int]]
+                         = None) -> Dict[int, AttemptCounter]:
+        """Pooled attempt counters per physical channel."""
+        start, end = repetition_range or (0, len(self.repetitions))
+        totals: Dict[int, AttemptCounter] = defaultdict(AttemptCounter)
+        for record in self.repetitions[start:end]:
+            for channel, counter in record.channels.items():
+                totals[channel].merge(counter)
+        return dict(totals)
+
+    def channel_prr(self, repetition_range: Optional[Tuple[int, int]] = None,
+                    ) -> Dict[int, float]:
+        """Pooled PRR per physical channel (channels with attempts only).
+
+        This is the view a WirelessHART network manager derives from
+        health reports to drive channel blacklisting: a channel whose
+        PRR collapses while others hold is suffering channel-specific
+        (external) interference.
+        """
+        return {channel: counter.prr
+                for channel, counter in
+                sorted(self.channel_counters(repetition_range).items())
+                if counter.attempts > 0}

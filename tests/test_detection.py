@@ -14,6 +14,7 @@ from repro.detection.classifier import (
 from repro.detection.health import (
     EpochReport,
     LinkEpochReport,
+    build_epoch_report,
     build_epoch_reports,
 )
 from repro.detection.kstest import (
@@ -168,6 +169,48 @@ class TestEpochReports:
     def test_invalid_epoch_size(self):
         with pytest.raises(ValueError):
             build_epoch_reports(SimulationStats(), 0)
+
+    def test_fewer_repetitions_than_one_epoch_yields_nothing(self):
+        stats = stats_with_pattern([1.0] * 2, [1.0] * 2)
+        assert build_epoch_reports(stats, repetitions_per_epoch=3) == []
+
+    @pytest.mark.parametrize("total, per_epoch, expected",
+                             [(5, 3, 1), (6, 3, 2), (1, 1, 1), (17, 18, 0),
+                              (19, 18, 1)])
+    def test_non_divisible_sample_counts(self, total, per_epoch, expected):
+        stats = stats_with_pattern([1.0] * total, [1.0] * total)
+        reports = build_epoch_reports(stats, per_epoch)
+        assert len(reports) == expected
+        for epoch, report in enumerate(reports):
+            assert report.epoch == epoch
+            assert len(report.links[(0, 1)].reuse_samples) == per_epoch
+
+    def test_contention_free_only_link_has_empty_reuse_side(self):
+        stats = SimulationStats()
+        record = stats.start_repetition()
+        record.record((0, 1), False, True)  # never in a shared cell
+        reports = build_epoch_reports(stats, repetitions_per_epoch=1)
+        report = reports[0].links[(0, 1)]
+        assert report.reuse_samples == ()
+        assert report.reuse_prr is None
+        assert report.contention_free_prr == 1.0
+        assert reports[0].reuse_links() == []
+
+    def test_streaming_report_matches_batched_slice(self):
+        """build_epoch_report over an explicit window (the manager's
+        streaming path) must equal the batched grouping's epoch."""
+        reuse = [1.0, 0.5, 0.8, 0.2, 0.6, 0.9]
+        cf = [1.0, 1.0, 0.9, 0.8, 1.0, 0.7]
+        stats = stats_with_pattern(reuse, cf)
+        batched = build_epoch_reports(stats, repetitions_per_epoch=3)
+        streamed = build_epoch_report(stats, epoch=1, window=(3, 6))
+        assert streamed == batched[1]
+
+    def test_default_window_spans_every_repetition(self):
+        stats = stats_with_pattern([1.0, 0.0], [1.0, 1.0])
+        report = build_epoch_report(stats, epoch=0)
+        assert len(report.links[(0, 1)].reuse_samples) == 2
+        assert report.links[(0, 1)].reuse_prr == pytest.approx(0.5)
 
 
 # ----------------------------------------------------------------------

@@ -201,3 +201,57 @@ class TestCliObservability:
         assert "policies:" in out
         assert "wall time per phase:" in out
         assert "trace events by kind:" in out
+
+    def test_report_missing_metrics_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["report", str(missing)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        error_lines = captured.err.strip().splitlines()
+        assert len(error_lines) == 1
+        assert error_lines[0].startswith(
+            f"error: cannot read metrics from {missing}")
+
+    def test_report_corrupt_metrics_fails_cleanly(self, tmp_path, capsys):
+        corrupt = tmp_path / "metrics.json"
+        corrupt.write_text("{this is not json")
+        assert main(["report", str(corrupt)]) == 2
+        captured = capsys.readouterr()
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "error: cannot read metrics" in captured.err
+
+
+class TestCliManager:
+    def test_manage_quick_writes_report_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "manager.json"
+        assert main(["manage", "--quick", "--epochs", "3", "--policy",
+                     "noop", "--seed", "1",
+                     "--report-out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "policy NoOp / scenario 'reuse-storm'" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["policy"] == "NoOp"
+        assert payload["seed"] == 1
+        assert len(payload["epochs"]) == 3
+
+    def test_manage_multi_seed_writes_report_list(self, tmp_path, capsys):
+        out_path = tmp_path / "managers.json"
+        assert main(["manage", "--quick", "--epochs", "2", "--policy",
+                     "noop", "--scenario", "quiet", "--seeds", "1", "2",
+                     "--report-out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert [report["seed"] for report in payload] == [1, 2]
+
+    def test_adapt_quick_prints_comparison(self, capsys):
+        assert main(["adapt", "--quick", "--epochs", "3", "--policies",
+                     "noop", "reschedule", "--scenario", "quiet",
+                     "--seed", "1", "--metric", "median"]) == 0
+        out = capsys.readouterr().out
+        assert "median PDR per epoch" in out
+        assert "NoOp" in out and "RescheduleVictims" in out
+        assert "trend (one char/epoch" in out
+
+    def test_manage_unknown_scenario_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["manage", "--scenario", "definitely-not-a-preset",
+                  "--epochs", "2", "--quick"])

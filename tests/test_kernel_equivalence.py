@@ -26,6 +26,7 @@ from repro.core.kernel import (
     min_reuse_distance,
 )
 from repro.core.rc import RHO_RESET_FLOW, RHO_RESET_TRANSMISSION
+from repro.core.reschedule import reschedule_without_reuse_on
 from repro.core.schedule import Schedule
 from repro.core.scheduler import (
     FixedPriorityScheduler,
@@ -236,3 +237,71 @@ class TestFullRunEquivalence:
              e.request.attempt, e.slot, e.offset)
             for e in result.schedule.entries]
         assert fused == stepwise
+
+
+def _reschedule_signature(network, flow_set, victims, kernel,
+                          policy_name="RA", rho_t=2):
+    """(schedulable, placements, counters) of a barrier rebuild."""
+    policy = make_policy(policy_name, rho_t)
+    with kernel_mode(kernel), obs.recording() as recorder:
+        result = reschedule_without_reuse_on(
+            flow_set, network.topology.num_nodes, network.num_channels,
+            network.reuse, policy, victims)
+    placements = None
+    if result.schedule is not None:
+        placements = [
+            (e.request.flow_id, e.request.instance, e.request.hop_index,
+             e.request.attempt, e.slot, e.offset)
+            for e in result.schedule.entries]
+    counters = recorder.snapshot()["counters"]
+    deterministic = {name: value for name, value in counters.items()
+                     if name.startswith(("scheduler.", "policy.", "rc."))}
+    return result.schedulable, placements, deterministic
+
+
+class TestRescheduleEquivalence:
+    """The manager's rebuild path must match across kernels bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def victims(self, figure1_workload):
+        network, flow_set = figure1_workload
+        scheduler = FixedPriorityScheduler(
+            num_nodes=network.topology.num_nodes,
+            num_offsets=network.num_channels,
+            reuse_graph=network.reuse, policy=make_policy("RA", 2))
+        with kernel_mode(KERNEL_SCALAR):
+            result = scheduler.run(flow_set)
+        assert result.schedulable
+        reuse_links = result.schedule.reuse_links()
+        assert reuse_links, "workload must exercise channel reuse"
+        return tuple(reuse_links[:3])
+
+    @pytest.mark.parametrize("policy_name", ["RA", "RC"])
+    def test_barrier_rebuild_matches_scalar(self, figure1_workload,
+                                            victims, policy_name):
+        network, flow_set = figure1_workload
+        scalar = _reschedule_signature(network, flow_set, victims,
+                                       KERNEL_SCALAR, policy_name)
+        vector = _reschedule_signature(network, flow_set, victims,
+                                       KERNEL_VECTOR, policy_name)
+        assert scalar == vector
+
+    def test_no_victims_matches_plain_run(self, figure1_workload):
+        """An empty barrier is placement-equivalent to the inner policy."""
+        network, flow_set = figure1_workload
+        _, plain, _ = _run_signature(network, flow_set, "RA",
+                                     KERNEL_VECTOR)
+        _, barred, _ = _reschedule_signature(network, flow_set, (),
+                                             KERNEL_VECTOR)
+        assert barred == plain
+
+    def test_victims_leave_shared_cells(self, figure1_workload, victims):
+        network, flow_set = figure1_workload
+        policy = make_policy("RA", 2)
+        with kernel_mode(KERNEL_VECTOR):
+            result = reschedule_without_reuse_on(
+                flow_set, network.topology.num_nodes,
+                network.num_channels, network.reuse, policy, victims)
+        assert result.schedulable
+        barred = set(victims) | {(v, u) for u, v in victims}
+        assert not barred & set(result.schedule.reuse_links())
