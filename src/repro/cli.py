@@ -10,7 +10,9 @@ a shell without writing Python:
 * ``manage`` — closed-loop network manager under a fault scenario;
 * ``adapt`` — remediation policies vs. NoOp under one fault timeline;
 * ``bench`` — scheduler kernel benchmark (writes BENCH_schedulers.json);
-* ``report`` — pretty-print a saved metrics snapshot.
+* ``report`` — pretty-print a saved metrics snapshot;
+* ``validate`` — audit a saved schedule against the reuse contract;
+* ``fuzz`` — seeded differential fuzzing of scheduler + simulator paths.
 
 Experiment commands accept ``--workers N`` to fan independent trials
 over N worker processes (0 = all CPUs) with results identical to a
@@ -246,6 +248,76 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.io import (load_flow_set, load_schedule, load_topology,
+                          save_audit_report)
+    from repro.validate import audit_schedule
+
+    # Artifact problems (missing file, wrong format, mismatched sizes)
+    # are operator mistakes: one line to stderr, exit code 2.  A schedule
+    # that loads but fails its audit is the command's actual verdict and
+    # exits 1.  The non-strict loader reproduces the dump verbatim —
+    # sanitizing on load would hide exactly the corruption we audit for.
+    try:
+        topology = load_topology(args.topology)
+        schedule = load_schedule(args.schedule, strict=False)
+        flow_set = load_flow_set(args.flows) if args.flows else None
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot load artifacts: {error}", file=sys.stderr)
+        return 2
+    network = prepare_network(topology)
+    rho_floor = math.inf if args.policy == "NR" else args.rho_t
+    try:
+        report = audit_schedule(schedule, network.reuse, rho_floor,
+                                flow_set=flow_set,
+                                expect_complete=args.flows is not None)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.report_out:
+        save_audit_report(report, args.report_out)
+        print(f"audit report -> {args.report_out}")
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.io import save_fuzz_report
+    from repro.validate import run_fuzz
+
+    if args.cases <= 0:
+        print("error: --cases must be positive", file=sys.stderr)
+        return 2
+    artifacts = Path(args.artifacts) if args.artifacts else None
+
+    def on_case(case) -> None:
+        if case.ok:
+            if not case.skipped and (case.index + 1) % 25 == 0:
+                print(f"  ... {case.index + 1}/{args.cases} cases clean")
+            return
+        checks = ", ".join(sorted({f["check"] for f in case.failures}))
+        print(f"FAIL case {case.index} ({checks}): "
+              f"{case.failures[0]['detail']}")
+        if artifacts is not None:
+            artifacts.mkdir(parents=True, exist_ok=True)
+            path = artifacts / f"case_{case.index:04d}.json"
+            path.write_text(json.dumps(case.to_dict(), indent=2))
+            print(f"  failure artifact -> {path}")
+
+    report = run_fuzz(args.cases, seed=args.seed or 0, on_case=on_case)
+    print(report.summary())
+    if artifacts is not None and not report.ok:
+        report_path = artifacts / "report.json"
+        save_fuzz_report(report, report_path)
+        print(f"fuzz report -> {report_path}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -360,6 +432,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_schedulers.json",
                    help="report path ('-' to skip writing)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("validate",
+                       help="audit a saved schedule against the reuse "
+                            "contract")
+    p.add_argument("--schedule", required=True, metavar="FILE",
+                   help="schedule JSON (loaded verbatim, not sanitized)")
+    p.add_argument("--topology", required=True, metavar="FILE",
+                   help="channel-restricted .npz from 'repro topology "
+                        "--save'")
+    p.add_argument("--flows", default=None, metavar="FILE",
+                   help="flow set JSON; enables the completeness audit")
+    p.add_argument("--policy", default="RC", choices=("NR", "RA", "RC"),
+                   help="policy the schedule claims to satisfy")
+    p.add_argument("--rho-t", type=int, default=2,
+                   help="reuse hop floor audited for RA / RC")
+    p.add_argument("--report-out", default=None, metavar="FILE",
+                   help="write the audit report as JSON")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("fuzz",
+                       help="seeded differential fuzzing of scheduler and "
+                            "simulator paths")
+    p.add_argument("--cases", type=int, default=25,
+                   help="number of random cases to run")
+    p.add_argument("--seed", type=int, default=0,
+                   help="run seed; case i draws from rng([seed, i])")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="write failing-case JSON artifacts to this "
+                        "directory")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("report", help="pretty-print a metrics snapshot")
     p.add_argument("metrics", help="metrics JSON written by --metrics-out")

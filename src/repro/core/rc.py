@@ -159,7 +159,14 @@ class ConservativeReusePolicy:
 
         if self.rho_reset == RHO_RESET_FLOW:
             # Persist ρ across the flow's remaining transmissions, clamped
-            # to the admissible floor (the loop may exit at ρ_t - 1).
+            # to the admissible floor: an exhausted descent exits the
+            # loop at ρ_t - 1 (and the degenerate-diameter break leaves
+            # ρ = λ_R < ρ_t), but Algorithm 1 keeps ρ monotone
+            # non-increasing within a flow and never below ρ_t — in
+            # particular a flow never retries ρ = ∞ after a descent ran
+            # dry.  ``_place_fused`` mirrors this exactly, including its
+            # ``earliest > deadline`` early return; the differential
+            # fuzzer (repro.validate.fuzz) asserts the parity.
             self._rho = max(rho, self.rho_t)
         else:
             self._rho = NO_REUSE
@@ -194,7 +201,13 @@ class ConservativeReusePolicy:
 
         if earliest > deadline:
             # Every findSlot probe misses; the descent runs dry.  Mirror
-            # the stepwise loop's exit ρ for the flow-scoped reset.
+            # the stepwise loop's exit ρ for the flow-scoped reset: from
+            # ρ = ∞ it either breaks at a degenerate diameter (λ_R < ρ_t)
+            # or walks down past the floor to ρ_t - 1; from a persisted
+            # finite ρ it always exits at ρ_t - 1.  After the shared
+            # ``max(ρ, ρ_t)`` clamp every branch persists exactly ρ_t,
+            # so the flow never retries ρ = ∞ — matching the stepwise
+            # loop's exhausted-descent behaviour bit for bit.
             if rho == NO_REUSE:
                 next_rho = reuse_graph.diameter()
                 rho = next_rho if next_rho < rho_t else rho_t - 1

@@ -93,7 +93,29 @@ class Schedule:
         if self._busy[request.sender, slot] or self._busy[request.receiver, slot]:
             raise ValueError(
                 f"node conflict placing {request} at slot {slot}")
+        return self._bind(request, slot, offset)
 
+    def force_add(self, request: TransmissionRequest, slot: int, offset: int
+                  ) -> ScheduledTransmission:
+        """Bind a request to a cell, skipping the node-conflict check.
+
+        For artifact loading and audit fixtures only: re-materializing a
+        schedule dump must not sanitize it — deciding whether the result
+        is valid is the auditor's job (:mod:`repro.validate.audit`), and
+        the corrupt-schedule fixtures rely on being able to represent
+        invalid placements.  Bounds are still enforced (the backing
+        arrays require in-range indices); bookkeeping is updated exactly
+        as in :meth:`add`.
+        """
+        if not 0 <= slot < self.num_slots:
+            raise ValueError(f"slot {slot} out of range [0, {self.num_slots})")
+        if not 0 <= offset < self.num_offsets:
+            raise ValueError(
+                f"offset {offset} out of range [0, {self.num_offsets})")
+        return self._bind(request, slot, offset)
+
+    def _bind(self, request: TransmissionRequest, slot: int, offset: int
+              ) -> ScheduledTransmission:
         entry = ScheduledTransmission(request, slot, offset)
         index = len(self._entries)
         self._entries.append(entry)

@@ -151,8 +151,19 @@ def load_flow_set(path: PathLike) -> FlowSet:
 # Schedules
 # ----------------------------------------------------------------------
 
-def schedule_to_dict(schedule: Schedule) -> Dict:
-    """JSON-serializable form of a schedule."""
+def schedule_to_dict(schedule: Schedule, include_state: bool = False) -> Dict:
+    """JSON-serializable form of a schedule.
+
+    Args:
+        schedule: The schedule to serialize.
+        include_state: Also embed the internal bookkeeping arrays (busy
+            matrix, used-offset masks, occupancy planes) verbatim.  Audit
+            dumps need this: the whole point of re-auditing a schedule is
+            that its bookkeeping may disagree with its entry list, and an
+            entries-only round trip would silently rebuild consistent
+            state.  Loaded back with ``strict=False``, the arrays are
+            restored bit for bit.
+    """
     entries: List[Dict] = []
     for entry in schedule.entries:
         request = entry.request
@@ -168,22 +179,43 @@ def schedule_to_dict(schedule: Schedule) -> Dict:
             "slot": entry.slot,
             "offset": entry.offset,
         })
-    return {
+    payload = {
         "num_nodes": schedule.num_nodes,
         "num_slots": schedule.num_slots,
         "num_offsets": schedule.num_offsets,
         "entries": entries,
     }
+    if include_state:
+        counts, senders, receivers = schedule.occupancy()
+        payload["state"] = {
+            "busy": schedule.busy_matrix().astype(int).tolist(),
+            "used_mask": [int(schedule._used_mask[s])
+                          for s in range(schedule.num_slots)],
+            "occ_count": counts.tolist(),
+            "occ_senders": senders.tolist(),
+            "occ_receivers": receivers.tolist(),
+        }
+    return payload
 
 
-def schedule_from_dict(data: Dict) -> Schedule:
+def schedule_from_dict(data: Dict, strict: bool = True) -> Schedule:
     """Rebuild a schedule from :func:`schedule_to_dict` output.
 
-    Entries are re-added through the normal mutation path, so structural
-    invariants (conflict-freedom, bounds) are re-checked on load.
+    Args:
+        data: The serialized schedule.
+        strict: When True (default), entries are re-added through the
+            normal mutation path, so structural invariants
+            (conflict-freedom, bounds) are re-checked on load and any
+            embedded ``state`` blob is ignored as redundant.  When
+            False, entries are force-added without the node-conflict
+            check and an embedded ``state`` blob overwrites the
+            bookkeeping arrays verbatim — the loader reproduces the
+            dump exactly and leaves validity judgments to
+            :func:`repro.validate.audit.audit_schedule`.
     """
     schedule = Schedule(int(data["num_nodes"]), int(data["num_slots"]),
                         int(data["num_offsets"]))
+    place = schedule.add if strict else schedule.force_add
     for item in data["entries"]:
         request = TransmissionRequest(
             flow_id=int(item["flow_id"]),
@@ -195,18 +227,38 @@ def schedule_from_dict(data: Dict) -> Schedule:
             release_slot=int(item["release_slot"]),
             deadline_slot=int(item["deadline_slot"]),
         )
-        schedule.add(request, int(item["slot"]), int(item["offset"]))
+        place(request, int(item["slot"]), int(item["offset"]))
+    state = data.get("state")
+    if state is not None and not strict:
+        lanes = (len(state["occ_senders"][0][0])
+                 if state["occ_senders"] and state["occ_senders"][0] else 0)
+        shape = (schedule.num_slots, schedule.num_offsets, lanes)
+        schedule._busy = np.asarray(state["busy"], dtype=bool)
+        schedule._used_mask = np.asarray(state["used_mask"], dtype=np.int32)
+        schedule._occ_count = np.asarray(state["occ_count"], dtype=np.int32)
+        schedule._occ_senders = np.asarray(
+            state["occ_senders"], dtype=np.int32).reshape(shape)
+        schedule._occ_receivers = np.asarray(
+            state["occ_receivers"], dtype=np.int32).reshape(shape)
     return schedule
 
 
-def save_schedule(schedule: Schedule, path: PathLike) -> None:
-    """Save a schedule as JSON."""
-    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+def save_schedule(schedule: Schedule, path: PathLike,
+                  include_state: bool = False) -> None:
+    """Save a schedule as JSON (see :func:`schedule_to_dict`)."""
+    Path(path).write_text(json.dumps(
+        schedule_to_dict(schedule, include_state=include_state), indent=2))
 
 
-def load_schedule(path: PathLike) -> Schedule:
-    """Load a schedule saved by :func:`save_schedule`."""
-    return schedule_from_dict(json.loads(Path(path).read_text()))
+def load_schedule(path: PathLike, strict: bool = True) -> Schedule:
+    """Load a schedule saved by :func:`save_schedule`.
+
+    ``strict=False`` reproduces the dump verbatim — including invalid
+    placements and corrupt bookkeeping — for auditing
+    (see :func:`schedule_from_dict`).
+    """
+    return schedule_from_dict(json.loads(Path(path).read_text()),
+                              strict=strict)
 
 
 # ----------------------------------------------------------------------
@@ -242,3 +294,19 @@ def save_scheduling_result(result: SchedulingResult, path: PathLike,
     """Save a scheduling result (with its counters) as JSON."""
     Path(path).write_text(json.dumps(
         scheduling_result_to_dict(result, include_schedule), indent=2))
+
+
+# ----------------------------------------------------------------------
+# Validation artifacts (audit reports, fuzz reports / failure cases)
+# ----------------------------------------------------------------------
+
+def save_audit_report(report, path: PathLike) -> None:
+    """Save a :class:`repro.validate.AuditReport` as JSON."""
+    Path(path).write_text(json.dumps(report.to_dict(), indent=2,
+                                     sort_keys=True))
+
+
+def save_fuzz_report(report, path: PathLike) -> None:
+    """Save a :class:`repro.validate.FuzzReport` (failing cases in full,
+    each with its ``reproduce`` command line) as JSON."""
+    Path(path).write_text(json.dumps(report.to_dict(), indent=2))

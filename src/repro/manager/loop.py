@@ -17,6 +17,7 @@ any ``--workers`` fan-out (seeds derive from the trial key alone).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -57,6 +58,7 @@ from repro.simulator.engine import SimulationConfig, TschSimulator
 from repro.simulator.stats import Link
 from repro.testbeds.layout import FloorPlan
 from repro.testbeds.synth import RadioEnvironment
+from repro.validate.audit import audit_schedule
 
 #: Default hopping set for manager runs: the paper's reliability channels
 #: (11-14, all overlapped by WiFi channel 1) plus channel 15, which WiFi
@@ -135,6 +137,11 @@ class EpochOutcome:
         action_applied: Whether the rebuild succeeded (a failed rebuild
             keeps the previous schedule running).
         num_channels / rho_t: Network state *after* the epoch's action.
+        audit_ok: Whether this epoch's rebuild (if any) passed the
+            independent schedule audit (:mod:`repro.validate.audit`).
+            True when no rebuild was attempted; False means the policy
+            produced a schedule that violated the paper's correctness
+            contract and the manager rolled it back.
     """
 
     epoch: int
@@ -152,6 +159,7 @@ class EpochOutcome:
     action_applied: bool
     num_channels: int
     rho_t: int
+    audit_ok: bool = True
 
     def to_dict(self) -> Dict:
         """JSON-serializable form (links become 2-lists)."""
@@ -171,6 +179,7 @@ class EpochOutcome:
             "action_applied": self.action_applied,
             "num_channels": self.num_channels,
             "rho_t": self.rho_t,
+            "audit_ok": self.audit_ok,
         }
 
 
@@ -276,6 +285,40 @@ class NetworkManager:
             barred)
         return result.schedule if result.schedulable else None
 
+    def _audited_rebuild(self, network: PreparedNetwork, flow_set: FlowSet,
+                         rho_t: int, barred: Set[Link],
+                         ) -> Tuple[Optional[Schedule], bool]:
+        """Rebuild, then audit before accepting (SlotSwapper-style
+        feasibility re-verification after schedule mutation).
+
+        A remediation policy's rebuilt schedule goes live on the network;
+        the independent auditor (:func:`repro.validate.audit
+        .audit_schedule`) re-derives conflict-freedom, precedence,
+        deadlines, the ρ-hop channel constraint, and the barred-link
+        exclusions before the manager swaps it in.
+
+        Returns:
+            ``(schedule, audit_ok)``: the schedule is None when the
+            rebuild was unschedulable (``audit_ok`` stays True — nothing
+            to audit) *or* when it failed the audit (``audit_ok``
+            False); either way the caller rolls back.
+        """
+        rebuilt = self._rebuild(network, flow_set, rho_t, barred)
+        if rebuilt is None:
+            return None, True
+        rho_floor = (math.inf if self.config.scheduler_policy == "NR"
+                     else rho_t)
+        audit = audit_schedule(rebuilt, network.reuse, rho_floor,
+                               flow_set=flow_set, barred_links=barred)
+        if not audit.ok:
+            if _obs.ENABLED:
+                _obs.RECORDER.count("manager.audit_failures")
+                _obs.RECORDER.event(
+                    "manager_audit_failed",
+                    violations=[v.to_dict() for v in audit.violations[:20]])
+            return None, False
+        return rebuilt, True
+
     # ------------------------------------------------------------------
     # The loop
     # ------------------------------------------------------------------
@@ -325,8 +368,9 @@ class NetworkManager:
 
             action = self.policy.decide(observation)
             applied = False
+            audit_ok = True
             if action is not None:
-                applied, network, schedule, rho_t = self._apply(
+                applied, network, schedule, rho_t, audit_ok = self._apply(
                     action, network, flow_set, schedule, rho_t, barred)
                 # Cooldown regardless of success: pre-action streaks are
                 # stale either way, and retry spacing prevents thrash.
@@ -346,7 +390,8 @@ class NetworkManager:
                 action=action.describe() if action else None,
                 action_reason=action.reason if action else "",
                 action_applied=applied,
-                num_channels=network.num_channels, rho_t=rho_t)
+                num_channels=network.num_channels, rho_t=rho_t,
+                audit_ok=audit_ok)
             report.epochs.append(outcome)
 
             if _obs.ENABLED:
@@ -363,7 +408,8 @@ class NetworkManager:
                     num_reject=outcome.num_reject,
                     num_accept=outcome.num_accept,
                     action=outcome.action, action_applied=applied,
-                    action_reason=outcome.action_reason)
+                    action_reason=outcome.action_reason,
+                    audit_ok=audit_ok)
 
         report.barred_links = tuple(sorted(barred))
         report.final_channels = tuple(network.topology.channel_map)
@@ -373,26 +419,28 @@ class NetworkManager:
     def _apply(self, action: Action, network: PreparedNetwork,
                flow_set: FlowSet, schedule: Schedule, rho_t: int,
                barred: Set[Link],
-               ) -> Tuple[bool, PreparedNetwork, Schedule, int]:
+               ) -> Tuple[bool, PreparedNetwork, Schedule, int, bool]:
         """Apply one action; on failure every state change is rolled back.
 
         ``barred`` is mutated in place (the accumulated no-reuse set);
-        network / schedule / rho_t are returned.
+        network / schedule / rho_t are returned, plus whether the
+        rebuild (if one was produced) passed the schedule audit.
         """
         if action.kind == "reschedule":
             added = set(action.victims) - barred
             barred |= added
-            rebuilt = self._rebuild(network, flow_set, rho_t, barred)
+            rebuilt, audit_ok = self._audited_rebuild(
+                network, flow_set, rho_t, barred)
             if rebuilt is None:
                 barred -= added
-                return False, network, schedule, rho_t
-            return True, network, rebuilt, rho_t
+                return False, network, schedule, rho_t, audit_ok
+            return True, network, rebuilt, rho_t, audit_ok
 
         if action.kind == "blacklist":
             remaining = tuple(ch for ch in network.topology.channel_map
                               if ch != action.channel)
             if not remaining:
-                return False, network, schedule, rho_t
+                return False, network, schedule, rho_t, True
             # Keep the original routes (the flow set is already routed)
             # and rebuild on the reduced hopping set.  The reuse graph is
             # re-derived from the restricted topology; route quality is
@@ -400,17 +448,19 @@ class NetworkManager:
             # standard WirelessHART split between the fast blacklist
             # path and slow route maintenance.
             new_network = prepare_network(self.topology, channels=remaining)
-            rebuilt = self._rebuild(new_network, flow_set, rho_t, barred)
+            rebuilt, audit_ok = self._audited_rebuild(
+                new_network, flow_set, rho_t, barred)
             if rebuilt is None:
-                return False, network, schedule, rho_t
-            return True, new_network, rebuilt, rho_t
+                return False, network, schedule, rho_t, audit_ok
+            return True, new_network, rebuilt, rho_t, audit_ok
 
         if action.kind == "escalate_rho":
             new_rho = action.rho_t if action.rho_t is not None else rho_t
-            rebuilt = self._rebuild(network, flow_set, new_rho, barred)
+            rebuilt, audit_ok = self._audited_rebuild(
+                network, flow_set, new_rho, barred)
             if rebuilt is None:
-                return False, network, schedule, rho_t
-            return True, network, rebuilt, new_rho
+                return False, network, schedule, rho_t, audit_ok
+            return True, network, rebuilt, new_rho, audit_ok
 
         raise ValueError(f"unknown action kind: {action.kind!r}")
 

@@ -286,8 +286,17 @@ class TschSimulator:
                     if entry.sender in dark:
                         # A powered-off sender never puts the frame on
                         # the air: the attempt fails without radiating.
+                        # It is still an attempt, so the observability
+                        # tallies must count it exactly like the stats
+                        # record does (a dark *receiver* flows through
+                        # the normal path below and is counted in both).
                         record.record((entry.sender, entry.receiver),
                                       entry.shared_cell, False)
+                        if recorder is not None:
+                            rep_attempts += 1
+                            link_outcomes.setdefault(
+                                (entry.sender, entry.receiver),
+                                [0, 0])[0] += 1
                         continue
                     logical = (asn + entry.offset) % num_logical
                     channel = self.channel_map.physical(logical)

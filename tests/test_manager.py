@@ -513,3 +513,59 @@ def replace_policy(config: ManagerConfig, policy: str) -> ManagerConfig:
     from dataclasses import replace
 
     return replace(config, policy=policy)
+
+
+class TestRebuildAudit:
+    """A remediation policy's rebuilt schedule only goes live after the
+    independent auditor accepts it; a corrupt rebuild is rolled back."""
+
+    def test_corrupt_rebuild_is_rolled_back(self, wustl, monkeypatch):
+        from repro.obs import recorder as _obs
+        from repro.obs.recorder import Recorder
+
+        topology, environment = wustl
+        config = ManagerConfig(scenario="reuse-storm", policy="reschedule",
+                               num_epochs=6, seed=3, **QUICK)
+
+        real_rebuild = NetworkManager._rebuild
+
+        def corrupt_rebuild(self, network, flow_set, rho_t, barred):
+            rebuilt = real_rebuild(self, network, flow_set, rho_t, barred)
+            if rebuilt is not None and len(rebuilt):
+                entry = rebuilt.entries[0]
+                rebuilt._occ_senders[entry.slot, entry.offset, 0] = (
+                    (entry.request.sender + 1) % rebuilt.num_nodes)
+            return rebuilt
+
+        monkeypatch.setattr(NetworkManager, "_rebuild", corrupt_rebuild)
+        with _obs.recording(Recorder()) as rec:
+            report = NetworkManager(topology, environment, WUSTL_PLAN,
+                                    config).run()
+
+        attempted = [o for o in report.epochs if o.action is not None]
+        assert attempted, "the storm never triggered a remediation"
+        failed_audits = [o for o in report.epochs if not o.audit_ok]
+        assert failed_audits, "no corrupt rebuild reached the audit"
+        for outcome in failed_audits:
+            assert not outcome.action_applied  # rolled back, not applied
+            assert outcome.to_dict()["audit_ok"] is False
+        # Rollback must also undo the barred-link additions.
+        assert report.barred_links == ()
+
+        assert rec.registry.counter_value("manager.audit_failures") >= 1
+        audit_events = [e for e in rec.tracer.events()
+                        if e.kind == "manager_audit_failed"]
+        assert audit_events
+        assert audit_events[0].fields["violations"][0]["kind"] == "occupancy"
+        epoch_events = [e for e in rec.tracer.events()
+                        if e.kind == "manager_epoch"]
+        assert any(e.fields["audit_ok"] is False for e in epoch_events)
+
+    def test_clean_rebuild_keeps_audit_ok(self, wustl):
+        topology, environment = wustl
+        config = ManagerConfig(scenario="reuse-storm", policy="reschedule",
+                               num_epochs=6, seed=3, **QUICK)
+        report = NetworkManager(topology, environment, WUSTL_PLAN,
+                                config).run()
+        assert all(o.audit_ok for o in report.epochs)
+        assert any(o.action_applied for o in report.epochs)

@@ -339,3 +339,39 @@ class TestEngine:
         sim = TschSimulator(schedule, flow_set, env, env.channel_map)
         with pytest.raises(ValueError):
             sim.run(0)
+
+
+class TestDarkNodeObservability:
+    """Regression: a dark *sender's* failed attempt updates the stats
+    but used to be skipped in the obs tallies (``rep_attempts`` /
+    ``link_outcomes``), while a dark *receiver's* failure was counted in
+    both — so ``sim.attempts`` drifted from the stats totals exactly when
+    dark-node faults were active."""
+
+    @staticmethod
+    def _stats_attempts(stats):
+        attempts = 0
+        for record in stats.repetitions:
+            for counters in (record.reuse, record.contention_free):
+                for counter in counters.values():
+                    attempts += counter.attempts
+        return attempts
+
+    @pytest.mark.parametrize("dark_node", [0, 2],
+                             ids=["dark_sender", "dark_receiver"])
+    def test_obs_attempts_match_stats(self, dark_node):
+        from repro.obs import recorder as _obs
+        from repro.obs.recorder import Recorder
+        from repro.simulator.conditions import Conditions
+
+        flow_set, schedule = tiny_flow_and_schedule()
+        env = tiny_environment()
+        conditions = Conditions(dark_nodes=frozenset({dark_node}))
+        with _obs.recording(Recorder()) as rec:
+            stats = TschSimulator(
+                schedule, flow_set, env, env.channel_map,
+                config=SimulationConfig(seed=11),
+                conditions=conditions).run(10)
+        expected = self._stats_attempts(stats)
+        assert expected > 0  # dark node must not silence the whole run
+        assert rec.registry.counter_value("sim.attempts") == expected
