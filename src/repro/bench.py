@@ -48,8 +48,17 @@ from repro.routing.traffic import TrafficType
 #: Default output file, tracked in the repository.
 DEFAULT_OUT = "BENCH_schedulers.json"
 
+#: Default append-only per-run history (JSONL, one record per bench).
+DEFAULT_HISTORY = "benchmarks/history.jsonl"
+
+#: Regression gate for ``--compare``: a shared (flows, policy, kernel)
+#: cell may be at most this much slower than the baseline.
+REGRESSION_THRESHOLD = 0.20
+
 #: Figure-1-style workload sizes (flows on 5 channels, centralized).
-FULL_FLOW_COUNTS = (30, 50, 70)
+#: The 20-flow cell doubles as the quick-mode workload, so CI's quick
+#: bench shares a comparable cell with the tracked full baseline.
+FULL_FLOW_COUNTS = (20, 30, 50, 70)
 QUICK_FLOW_COUNTS = (20,)
 
 
@@ -214,6 +223,83 @@ def run_bench(out: str = DEFAULT_OUT, *, quick: bool = False,
             json.dump(report, handle, indent=2, sort_keys=False)
             handle.write("\n")
     return report
+
+
+def append_history(report: Dict, path: str = DEFAULT_HISTORY) -> Dict:
+    """Append one compact record of a bench run to the history file.
+
+    The tracked ``BENCH_schedulers.json`` holds only the *latest* full
+    report; the history keeps the trajectory — one JSONL record per run
+    with the per-cell wall times and the headline speedups — so
+    regressions can be dated, not just detected.
+
+    Returns:
+        The appended record.
+    """
+    from repro.io import append_jsonl
+
+    record = {
+        "kind": "bench",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": report["mode"],
+        "seed": report["seed"],
+        "repetitions": report["repetitions"],
+        "environment": report["environment"],
+        "cells": [
+            {"num_flows": row["num_flows"], "policy": row["policy"],
+             "scalar_s": row[_kernel.KERNEL_SCALAR]["wall_s"],
+             "vector_s": row[_kernel.KERNEL_VECTOR]["wall_s"],
+             "speedup": row["speedup"]}
+            for row in report["schedulers"]],
+        "headline": report["headline"],
+    }
+    append_jsonl([record], path)
+    return record
+
+
+def compare_bench(report: Dict, baseline: Dict,
+                  threshold: float = REGRESSION_THRESHOLD) -> List[str]:
+    """Wall-time regressions of a report against a baseline report.
+
+    Cells are matched by ``(num_flows, policy, kernel)``; cells present
+    in only one report are ignored (a quick run checked against a full
+    baseline compares exactly the sizes both measured).  A cell
+    regresses when its wall time exceeds the baseline's by more than
+    ``threshold`` (relative).
+
+    Returns:
+        One line per regression (empty = no regression).  A disjoint
+        cell set returns a single diagnostic line — silently comparing
+        nothing must not pass as "no regression".
+    """
+    def cells(rep: Dict) -> Dict[tuple, float]:
+        out: Dict[tuple, float] = {}
+        for row in rep.get("schedulers", []):
+            for kernel in (_kernel.KERNEL_SCALAR, _kernel.KERNEL_VECTOR):
+                timing = row.get(kernel)
+                if timing and timing.get("wall_s") is not None:
+                    out[(row["num_flows"], row["policy"], kernel)] = \
+                        timing["wall_s"]
+        return out
+
+    current, base = cells(report), cells(baseline)
+    shared = sorted(set(current) & set(base))
+    if not shared:
+        return ["no comparable (num_flows, policy, kernel) cells between "
+                "report and baseline"]
+    regressions: List[str] = []
+    for key in shared:
+        num_flows, policy, kernel = key
+        before, after = base[key], current[key]
+        if before <= 0:
+            continue
+        ratio = after / before - 1.0
+        if ratio > threshold:
+            regressions.append(
+                f"REGRESSION {policy}@{num_flows} [{kernel}]: "
+                f"{1000 * before:.1f}ms -> {1000 * after:.1f}ms "
+                f"({ratio:+.0%}, threshold {threshold:.0%})")
+    return regressions
 
 
 def format_bench(report: Dict) -> str:

@@ -10,22 +10,32 @@ a shell without writing Python:
 * ``manage`` — closed-loop network manager under a fault scenario;
 * ``adapt`` — remediation policies vs. NoOp under one fault timeline;
 * ``bench`` — scheduler kernel benchmark (writes BENCH_schedulers.json);
+* ``schedule`` — build one schedule and save it (+ flows) as artifacts;
 * ``report`` — pretty-print a saved metrics snapshot;
 * ``validate`` — audit a saved schedule against the reuse contract;
-* ``fuzz`` — seeded differential fuzzing of scheduler + simulator paths.
+* ``fuzz`` — seeded differential fuzzing of scheduler + simulator paths;
+* ``explain`` — constraint chain for one link × slot of a schedule;
+* ``timeline`` — ASCII superframe Gantt of a saved schedule;
+* ``ledger`` — list / show / diff the run ledger (``runs.jsonl``).
 
 Experiment commands accept ``--workers N`` to fan independent trials
 over N worker processes (0 = all CPUs) with results identical to a
 serial run.
 
 Every experiment command accepts ``--trace FILE`` (structured JSONL
-event trace) and ``--metrics-out FILE`` (metrics snapshot JSON); either
-flag turns the observability layer on for the run (see ``repro.obs``).
+event trace), ``--metrics-out FILE`` (metrics snapshot JSON), and
+``--provenance FILE`` (per-placement decision records, JSONL); any of
+the three turns the observability layer on for the run (see
+``repro.obs``).  Every *producing* command appends one record — argv,
+config hash, seeds, environment, wall time, exit status, artifact
+paths — to the append-only run ledger (default ``runs.jsonl``;
+``--ledger PATH`` moves it, ``--no-ledger`` skips it).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -215,13 +225,191 @@ def cmd_adapt(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import format_bench, run_bench
+    import json
 
+    from repro.bench import (append_history, compare_bench, format_bench,
+                             run_bench)
+
+    baseline = None
+    if args.compare:
+        # Load before the (slow) bench run so a bad path fails fast.
+        try:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load baseline {args.compare}: {error}",
+                  file=sys.stderr)
+            return 2
     report = run_bench(args.out, quick=args.quick, seed=args.seed or 1,
                        repetitions=args.repetitions)
     print(format_bench(report))
     if args.out != "-":
         print(f"report -> {args.out}")
+    if args.history != "-":
+        append_history(report, args.history)
+        print(f"history += {args.history}")
+    if baseline is not None:
+        regressions = compare_bench(report, baseline)
+        if regressions:
+            for line in regressions:
+                print(line, file=sys.stderr)
+            return 3
+        print(f"no wall-time regression vs {args.compare} "
+              f"(threshold 20%)")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.experiments.common import build_workload, schedule_workload
+    from repro.io import save_flow_set, save_schedule, save_topology
+
+    topology, _ = _make_testbed(args.testbed, args.seed)
+    network = prepare_network(topology, num_channels=args.channels)
+    traffic = (TrafficType.CENTRALIZED if args.traffic == "centralized"
+               else TrafficType.PEER_TO_PEER)
+    rng = np.random.default_rng(args.seed or 0)
+    flow_set = build_workload(
+        network, args.flows,
+        PeriodRange(args.period_min_exp, args.period_max_exp),
+        traffic, rng)
+    result = schedule_workload(network, flow_set, args.policy,
+                               rho_t=args.rho_t)
+    schedule = result.schedule
+    print(f"{args.policy} on {args.testbed} ({args.flows} flows, "
+          f"{args.channels} channels): "
+          f"{'schedulable' if result.schedulable else 'UNSCHEDULABLE'}, "
+          f"{len(schedule)} placements, "
+          f"{schedule.num_reused_cells()} reuse cells, "
+          f"makespan {schedule.makespan()}")
+    if args.schedule_out:
+        save_schedule(schedule, args.schedule_out)
+        print(f"schedule -> {args.schedule_out}")
+    if args.flows_out:
+        save_flow_set(flow_set, args.flows_out)
+        print(f"flow set -> {args.flows_out}")
+    if args.topology_out:
+        save_topology(network.topology, args.topology_out)
+        print(f"topology -> {args.topology_out}")
+    return 0 if result.schedulable else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.io import load_jsonl, load_schedule, load_topology
+    from repro.obs.explain import explain_cell, explain_from_provenance
+
+    try:
+        topology = load_topology(args.topology)
+        schedule = load_schedule(args.schedule, strict=False)
+        provenance = (load_jsonl(args.provenance_in)
+                      if args.provenance_in else None)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot load artifacts: {error}", file=sys.stderr)
+        return 2
+    sender, receiver = args.link
+    if not (0 <= sender < schedule.num_nodes
+            and 0 <= receiver < schedule.num_nodes):
+        print(f"error: link ({sender}, {receiver}) out of range for "
+              f"{schedule.num_nodes} nodes", file=sys.stderr)
+        return 2
+    if not 0 <= args.slot < schedule.num_slots:
+        print(f"error: slot {args.slot} out of range for "
+              f"{schedule.num_slots} slots", file=sys.stderr)
+        return 2
+    network = prepare_network(topology)
+    rho = math.inf if args.policy == "NR" else args.rho_t
+    for line in explain_cell(schedule, network.reuse, sender, receiver,
+                             args.slot, rho):
+        print(line)
+    if provenance is not None:
+        lines = explain_from_provenance(
+            provenance, sender, receiver,
+            None if args.all_decisions else args.slot)
+        print()
+        if lines:
+            print("recorded decisions for this link:")
+            for line in lines:
+                print(line)
+        else:
+            print("no recorded decisions touch this link"
+                  + ("" if args.all_decisions else " at this slot"))
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.io import load_flow_set, load_schedule
+    from repro.obs.timeline import parse_slot_range, render_timeline
+
+    try:
+        schedule = load_schedule(args.schedule, strict=False)
+        flow_set = load_flow_set(args.flows) if args.flows else None
+        start, end = ((0, None) if args.slots is None
+                      else parse_slot_range(args.slots))
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        print(render_timeline(schedule, flow_set, start, end))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.ledger import RunLedger, diff_records
+
+    ledger = RunLedger(args.ledger)
+    records = [r for r in ledger.records() if r.get("kind") == "run"]
+    if args.action == "list":
+        if not records:
+            print(f"no runs recorded in {ledger.path}")
+            return 0
+        print(f"{'run_id':<34} {'command':<12} {'status':<12} "
+              f"{'wall_s':>8}  artifacts")
+        for record in records:
+            wall = record.get("wall_s")
+            wall_text = f"{wall:8.2f}" if wall is not None else f"{'-':>8}"
+            print(f"{record.get('run_id', '?'):<34} "
+                  f"{record.get('command', '?'):<12} "
+                  f"{str(record.get('status', '?')):<12} "
+                  f"{wall_text}  {len(record.get('artifacts', []))}")
+        return 0
+    if args.action == "show":
+        if len(args.run_ids) != 1:
+            print("error: ledger show takes exactly one run id",
+                  file=sys.stderr)
+            return 2
+        record = ledger.find(args.run_ids[0])
+        if record is None:
+            print(f"error: no run matching {args.run_ids[0]!r} in "
+                  f"{ledger.path}", file=sys.stderr)
+            return 2
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    # diff
+    if len(args.run_ids) != 2:
+        print("error: ledger diff takes exactly two run ids",
+              file=sys.stderr)
+        return 2
+    found = [ledger.find(run_id) for run_id in args.run_ids]
+    for run_id, record in zip(args.run_ids, found):
+        if record is None:
+            print(f"error: no run matching {run_id!r} in {ledger.path}",
+                  file=sys.stderr)
+            return 2
+    lines = diff_records(found[0], found[1])
+    if not lines:
+        print("runs are equivalent (same command, config, environment)")
+        return 0
+    print(f"{found[0]['run_id']} -> {found[1]['run_id']}:")
+    for line in lines:
+        print(f"  {line}")
     return 0
 
 
@@ -236,11 +424,19 @@ def cmd_report(args: argparse.Namespace) -> int:
     try:
         snapshot = load_metrics(args.metrics)
         kind_counts = None
+        dropped = None
         if args.trace_in:
+            records = load_jsonl(args.trace_in)
+            # Trailer records are export bookkeeping, not observed
+            # events: surface their dropped tally separately.
+            meta = [r for r in records
+                    if r.get("kind") in ("trace_meta", "prov_meta")]
+            if meta:
+                dropped = sum(int(r.get("dropped", 0)) for r in meta)
             kind_counts = dict(Counter(
-                record.get("kind", "?")
-                for record in load_jsonl(args.trace_in)))
-        print(format_report(snapshot, kind_counts))
+                record.get("kind", "?") for record in records
+                if record.get("kind") not in ("trace_meta", "prov_meta")))
+        print(format_report(snapshot, kind_counts, dropped))
     except (OSError, ValueError, KeyError, TypeError) as error:
         print(f"error: cannot read metrics from {args.metrics}: {error}",
               file=sys.stderr)
@@ -326,6 +522,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "(ICDCS 2018 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def ledger_opts(p):
+        p.add_argument("--ledger", default="runs.jsonl", metavar="FILE",
+                       help="append-only run ledger (JSONL)")
+        p.add_argument("--no-ledger", action="store_true",
+                       help="skip the run-ledger append for this run")
+
     def common(p):
         p.add_argument("--testbed", default="indriya",
                        choices=("indriya", "wustl"))
@@ -334,9 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a structured event trace (JSONL)")
         p.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write a metrics snapshot (JSON)")
+        p.add_argument("--provenance", default=None, metavar="FILE",
+                       help="record per-placement decision provenance "
+                            "(JSONL)")
         p.add_argument("--workers", type=int, default=1,
                        help="worker processes for trial fan-out "
                             "(0 = all CPUs)")
+        ledger_opts(p)
 
     p = sub.add_parser("topology", help="synthesize and inspect a testbed")
     common(p)
@@ -431,7 +637,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timed repetitions per configuration (best-of)")
     p.add_argument("--out", default="BENCH_schedulers.json",
                    help="report path ('-' to skip writing)")
+    p.add_argument("--history", default="benchmarks/history.jsonl",
+                   metavar="FILE",
+                   help="append-only bench history ('-' to skip)")
+    p.add_argument("--compare", default=None, metavar="BASELINE",
+                   help="compare against a baseline report; exit 3 on "
+                        ">20%% wall-time regression in any shared cell")
+    ledger_opts(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("schedule",
+                       help="build one schedule and save its artifacts")
+    common(p)
+    p.add_argument("--policy", default="RC", choices=("NR", "RA", "RC"))
+    p.add_argument("--rho-t", type=int, default=2)
+    p.add_argument("--flows", type=int, default=10)
+    p.add_argument("--channels", type=int, default=5)
+    p.add_argument("--traffic", default="p2p",
+                   choices=("p2p", "centralized"))
+    p.add_argument("--period-min-exp", type=int, default=0)
+    p.add_argument("--period-max-exp", type=int, default=3)
+    p.add_argument("--schedule-out", default=None, metavar="FILE",
+                   help="write the schedule as JSON")
+    p.add_argument("--flows-out", default=None, metavar="FILE",
+                   help="write the flow set as JSON")
+    p.add_argument("--topology-out", default=None, metavar="FILE",
+                   help="write the channel-restricted topology (.npz)")
+    p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser("validate",
                        help="audit a saved schedule against the reuse "
@@ -449,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reuse hop floor audited for RA / RC")
     p.add_argument("--report-out", default=None, metavar="FILE",
                    help="write the audit report as JSON")
+    ledger_opts(p)
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("fuzz",
@@ -461,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--artifacts", default=None, metavar="DIR",
                    help="write failing-case JSON artifacts to this "
                         "directory")
+    ledger_opts(p)
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("report", help="pretty-print a metrics snapshot")
@@ -469,22 +703,92 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also summarize a JSONL trace by event kind")
     p.set_defaults(func=cmd_report)
 
+    p = sub.add_parser("explain",
+                       help="constraint chain for one link x slot of a "
+                            "saved schedule")
+    p.add_argument("--schedule", required=True, metavar="FILE",
+                   help="schedule JSON from 'repro schedule "
+                        "--schedule-out'")
+    p.add_argument("--topology", required=True, metavar="FILE",
+                   help=".npz from 'repro schedule --topology-out' or "
+                        "'repro topology --save'")
+    p.add_argument("--link", required=True, type=int, nargs=2,
+                   metavar=("SENDER", "RECEIVER"),
+                   help="the transmission link to explain")
+    p.add_argument("--slot", required=True, type=int,
+                   help="the time slot to explain")
+    p.add_argument("--policy", default="RC", choices=("NR", "RA", "RC"),
+                   help="policy whose channel constraint to apply")
+    p.add_argument("--rho-t", type=int, default=2,
+                   help="reuse hop count for RA / RC verdicts")
+    p.add_argument("--provenance", dest="provenance_in", default=None,
+                   metavar="FILE",
+                   help="also show recorded decisions from a provenance "
+                        "dump")
+    p.add_argument("--all-decisions", action="store_true",
+                   help="with --provenance: show every decision for the "
+                        "link, not just those touching --slot")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("timeline",
+                       help="ASCII superframe Gantt of a saved schedule")
+    p.add_argument("--schedule", required=True, metavar="FILE",
+                   help="schedule JSON")
+    p.add_argument("--flows", default=None, metavar="FILE",
+                   help="flow set JSON; adds release->deadline window "
+                        "rows")
+    p.add_argument("--slots", default=None, metavar="A:B",
+                   help="slot range to render (default: 0:makespan)")
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser("ledger",
+                       help="query the run ledger (runs.jsonl)")
+    p.add_argument("action", choices=("list", "show", "diff"))
+    p.add_argument("run_ids", nargs="*",
+                   help="run id(s); unambiguous prefixes accepted")
+    p.add_argument("--ledger", default="runs.jsonl", metavar="FILE",
+                   help="ledger file to query")
+    p.set_defaults(func=cmd_ledger)
+
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+#: ``args`` attributes whose values are files the run writes; collected
+#: into the ledger record so every artifact names the run that made it.
+_ARTIFACT_ARGS = ("trace", "metrics_out", "provenance", "save",
+                  "report_out", "out", "artifacts", "schedule_out",
+                  "flows_out", "topology_out", "history")
 
+
+def _artifact_paths(args: argparse.Namespace) -> List[str]:
+    paths = []
+    for name in _ARTIFACT_ARGS:
+        value = getattr(args, name, None)
+        if value and value != "-":
+            paths.append(str(value))
+    return paths
+
+
+def _run_command(args: argparse.Namespace):
+    """Run the selected command, with observability when requested.
+
+    Returns:
+        ``(status, recorder_or_None)``.
+    """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
-    if not (trace_path or metrics_path):
-        return args.func(args)
+    prov_path = getattr(args, "provenance", None)
+    if not (trace_path or metrics_path or prov_path):
+        return args.func(args), None
 
     from repro.io import save_metrics
 
-    with obs.recording() as recorder:
+    prov = None
+    if prov_path:
+        from repro.obs.provenance import ProvenanceRecorder
+
+        prov = ProvenanceRecorder()
+    with obs.recording(obs.Recorder(provenance=prov)) as recorder:
         status = args.func(args)
         if trace_path:
             written = recorder.tracer.export_jsonl(trace_path)
@@ -494,6 +798,66 @@ def main(argv: Optional[List[str]] = None) -> int:
         if metrics_path:
             save_metrics(recorder.snapshot(), metrics_path)
             print(f"metrics: snapshot -> {metrics_path}")
+        if prov_path:
+            written = prov.export_jsonl(prov_path)
+            suffix = (f" ({prov.dropped} older decisions dropped)"
+                      if prov.dropped else "")
+            print(f"provenance: {written} decisions -> "
+                  f"{prov_path}{suffix}")
+    return status, recorder
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    # Producing commands (those carrying ledger_opts) append one record
+    # per invocation; query commands (report / explain / timeline /
+    # ledger itself) never write to the ledger they read.
+    ledger = record = None
+    if getattr(args, "no_ledger", None) is False:
+        from repro.obs.ledger import RunLedger, new_record
+
+        raw_argv = list(argv) if argv is not None else sys.argv[1:]
+        skip = {"func", "command", "ledger", "no_ledger"}
+        config = {key: value for key, value in vars(args).items()
+                  if key not in skip}
+        seeds = []
+        if getattr(args, "seed", None) is not None:
+            seeds.append(args.seed)
+        seeds.extend(getattr(args, "seeds", None) or [])
+        ledger = RunLedger(args.ledger)
+        record = new_record(args.command, raw_argv, config, seeds)
+
+    try:
+        status, recorder = _run_command(args)
+    except BrokenPipeError:
+        # Downstream closed stdout mid-print (`repro ledger show |
+        # head`).  Swap stdout for /dev/null so interpreter shutdown
+        # does not raise a second time, and exit quietly.
+        if ledger is not None:
+            ledger.commit(record, status="error:BrokenPipeError",
+                          artifacts=_artifact_paths(args))
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except Exception:
+            pass
+        return 120
+    except BaseException as error:
+        if ledger is not None:
+            if isinstance(error, SystemExit) and isinstance(error.code, int):
+                outcome = error.code
+            else:
+                outcome = f"error:{type(error).__name__}"
+            ledger.commit(record, status=outcome,
+                          artifacts=_artifact_paths(args))
+        raise
+    if ledger is not None:
+        metrics = (recorder.snapshot().get("counters") or None
+                   if recorder is not None else None)
+        ledger.commit(record, status=status,
+                      artifacts=_artifact_paths(args), metrics=metrics)
     return status
 
 

@@ -251,3 +251,38 @@ def feasible_offsets_vector(schedule: "Schedule",
     dist = min_reuse_distance(schedule, reuse_graph, sender, receiver,
                               slot, slot)[0]
     return np.flatnonzero(dist >= rho).tolist()
+
+
+def cell_distances(schedule: "Schedule", reuse_graph: "ChannelReuseGraph",
+                   sender: int, receiver: int, slot: int,
+                   ) -> tuple:
+    """Per-offset min reuse distance of one slot, with the blocker lane.
+
+    ``dist[c]`` is the smallest ``min(hops[sender, y], hops[x, receiver])``
+    over the occupants ``(x, y)`` of cell ``(slot, c)`` —
+    :data:`INFINITE_DISTANCE` for empty cells — and ``lane[c]`` is the
+    occupancy lane of the minimizing occupant, i.e. the transmission to
+    *name* when explaining why the channel constraint rejected offset
+    ``c`` (see :mod:`repro.obs.provenance`).
+
+    Unlike :func:`min_reuse_distance` this does not touch the
+    incremental link-state lanes: it recomputes from the occupancy
+    planes and the hop matrix, so the answer is identical under either
+    kernel mode and never perturbs the hot-path state.  Provenance and
+    ``repro explain`` are the intended callers; placement uses the
+    incremental views above.
+    """
+    counts, occ_senders, occ_receivers = schedule.occupancy()
+    capacity = occ_senders.shape[2]
+    num_offsets = schedule.num_offsets
+    if capacity == 0 or not counts[slot].any():
+        return (np.full(num_offsets, INFINITE_DISTANCE, dtype=np.int32),
+                np.zeros(num_offsets, dtype=np.intp))
+    hops = reuse_graph.effective_hops()
+    pair = np.minimum(hops[sender, occ_receivers[slot]],
+                      hops[occ_senders[slot], receiver])
+    occupied = np.arange(capacity) < counts[slot][:, None]
+    masked = np.where(occupied, pair, INFINITE_DISTANCE)
+    lanes = masked.argmin(axis=1)
+    return (masked[np.arange(num_offsets), lanes].astype(np.int32),
+            lanes.astype(np.intp))

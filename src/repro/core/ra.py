@@ -42,6 +42,10 @@ class AggressiveReusePolicy:
     def start_flow(self, flow: Flow) -> None:
         """No per-flow state."""
 
+    def provenance_context(self) -> dict:
+        """Static policy parameters stamped onto decision records."""
+        return {"rho": self.rho_t, "offset_rule": OFFSET_FIRST}
+
     def place(self, schedule: Schedule, reuse_graph: ChannelReuseGraph,
               request: TransmissionRequest, earliest: int,
               remaining: Sequence[TransmissionRequest],

@@ -82,6 +82,11 @@ class ConservativeReusePolicy:
         """Reset ρ at flow boundaries (always correct for both modes)."""
         self._rho = NO_REUSE
 
+    def provenance_context(self) -> dict:
+        """Static policy parameters stamped onto decision records."""
+        return {"rho_t": self.rho_t, "rho_reset": self.rho_reset,
+                "offset_rule": self.offset_rule}
+
     def place(self, schedule: Schedule, reuse_graph: ChannelReuseGraph,
               request: TransmissionRequest, earliest: int,
               remaining: Sequence[TransmissionRequest],
@@ -105,6 +110,7 @@ class ConservativeReusePolicy:
         rho = self._rho
 
         recorder = _obs.RECORDER if _obs.ENABLED else None
+        prov = recorder.provenance if recorder is not None else None
         if recorder is not None:
             recorder.count("policy.RC.place_calls")
         laxity_triggered = False
@@ -123,6 +129,8 @@ class ConservativeReusePolicy:
                         "laxity_eval", flow=request.flow_id,
                         hop=request.hop_index, slot=found[0],
                         rho=_jsonable_rho(rho), laxity=laxity)
+                    if prov is not None:
+                        prov.record_laxity(found[0], rho, laxity)
                     if laxity < 0 and not laxity_triggered:
                         laxity_triggered = True
                         recorder.count("rc.laxity_triggers")
@@ -142,6 +150,8 @@ class ConservativeReusePolicy:
                         hop=request.hop_index,
                         from_rho=_jsonable_rho(rho),
                         to_rho=_jsonable_rho(next_rho))
+                    if prov is not None:
+                        prov.record_descent(rho, next_rho)
                 rho = next_rho
             else:
                 if recorder is not None and rho - 1 >= self.rho_t:
@@ -151,6 +161,8 @@ class ConservativeReusePolicy:
                         hop=request.hop_index,
                         from_rho=_jsonable_rho(rho),
                         to_rho=_jsonable_rho(rho - 1))
+                    if prov is not None:
+                        prov.record_descent(rho, rho - 1)
                 rho -= 1
 
         if recorder is not None and best is not None and best_rho != NO_REUSE:

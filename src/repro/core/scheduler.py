@@ -83,6 +83,24 @@ def find_slot(schedule: Schedule, reuse_graph: ChannelReuseGraph,
     """
     if _obs.ENABLED:
         _obs.RECORDER.count("scheduler.placements_tried")
+        prov = _obs.RECORDER.provenance
+        if prov is not None:
+            # Record the scan *and* its derived constraint chain against
+            # the pre-scan schedule state (see repro.obs.provenance).
+            result = _find_slot(schedule, reuse_graph, request, rho,
+                                earliest, offset_rule)
+            prov.record_probe(schedule, reuse_graph, request, rho,
+                              earliest, offset_rule, result)
+            return result
+    return _find_slot(schedule, reuse_graph, request, rho, earliest,
+                      offset_rule)
+
+
+def _find_slot(schedule: Schedule, reuse_graph: ChannelReuseGraph,
+               request: TransmissionRequest, rho: float,
+               earliest: int, offset_rule: str,
+               ) -> Optional[Tuple[int, int]]:
+    """:func:`find_slot` minus the provenance probe hook."""
     deadline = request.deadline_slot
     if earliest > deadline:
         return None
@@ -277,9 +295,14 @@ class FixedPriorityScheduler:
         # flag so the disabled cost is one attribute read.
         recorder = _obs.RECORDER if _obs.ENABLED else None
         baseline = None
+        prov = None
         if recorder is not None:
             baseline = {name: recorder.registry.counter_value(name)
                         for name, _ in RESULT_COUNTERS}
+            prov = recorder.provenance
+        context = (self.policy.provenance_context()
+                   if prov is not None
+                   and hasattr(self.policy, "provenance_context") else None)
 
         for flow in flow_set:
             self.policy.start_flow(flow)
@@ -298,18 +321,24 @@ class FixedPriorityScheduler:
                         RequestWindow(requests, position + 1,
                                       senders, receivers)
                         if windows else requests[position + 1:])
+                    if prov is not None:
+                        prov.begin_decision(self.policy.name, request,
+                                            earliest, context)
                     placement = self.policy.place(
                         schedule, self.reuse_graph, request, earliest,
                         remaining)
                     if placement is None:
                         if recorder is not None:
                             recorder.count("scheduler.rejections")
-                            recorder.event(
-                                "flow_rejected", policy=self.policy.name,
+                            fields = dict(
+                                policy=self.policy.name,
                                 flow=flow.flow_id,
                                 instance=instance.instance,
                                 hop=request.hop_index,
                                 deadline=request.deadline_slot)
+                            if prov is not None:
+                                fields["prov"] = prov.end_decision(None)
+                            recorder.event("flow_rejected", **fields)
                         return self._finish(
                             False, schedule, flow_set, start_time,
                             recorder, baseline,
@@ -321,11 +350,15 @@ class FixedPriorityScheduler:
                         recorder.count("scheduler.placements")
                         if reused:
                             recorder.count("scheduler.reuse_placements")
-                        recorder.event(
-                            "placement", policy=self.policy.name,
+                        fields = dict(
+                            policy=self.policy.name,
                             flow=flow.flow_id, instance=instance.instance,
                             hop=request.hop_index, attempt=request.attempt,
                             slot=slot, offset=offset, reused=reused)
+                        if prov is not None:
+                            fields["prov"] = prov.end_decision(
+                                placement, reused)
+                        recorder.event("placement", **fields)
                     schedule.add(request, slot, offset)
                     earliest = slot + 1
             if recorder is not None:

@@ -46,6 +46,27 @@ def save_jsonl(records: Iterable[Dict], path: PathLike) -> int:
     return count
 
 
+def append_jsonl(records: Iterable[Dict], path: PathLike) -> int:
+    """Append dict records to a JSON Lines file (created if missing).
+
+    The run ledger (:mod:`repro.obs.ledger`) and the benchmark history
+    are append-only by contract: re-running an experiment must never
+    erase the account of earlier runs.  Parent directories are created.
+
+    Returns:
+        The number of records appended.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
 def load_jsonl(path: PathLike) -> List[Dict]:
     """Read records written by :func:`save_jsonl` (blank lines skipped)."""
     records = []

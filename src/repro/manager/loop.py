@@ -369,9 +369,17 @@ class NetworkManager:
             action = self.policy.decide(observation)
             applied = False
             audit_ok = True
+            prov = _obs.RECORDER.provenance if _obs.ENABLED else None
+            prov_range = None
             if action is not None:
+                # Bracket the remediation's rebuild with the provenance
+                # recorder's decision counter: [first, last) cites the
+                # exact placement decisions this epoch's action produced.
+                first_decision = prov.next_id() if prov is not None else 0
                 applied, network, schedule, rho_t, audit_ok = self._apply(
                     action, network, flow_set, schedule, rho_t, barred)
+                if prov is not None and prov.next_id() > first_decision:
+                    prov_range = [first_decision, prov.next_id()]
                 # Cooldown regardless of success: pre-action streaks are
                 # stale either way, and retry spacing prevents thrash.
                 monitor.note_action(epoch)

@@ -22,6 +22,7 @@ From the CLI, ``--trace FILE`` / ``--metrics-out FILE`` enable the same
 machinery, and ``python -m repro report FILE`` renders a saved snapshot.
 """
 
+from repro.obs.ledger import RunLedger, environment_fingerprint
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,6 +32,7 @@ from repro.obs.metrics import (
     TIME_BUCKETS_S,
 )
 from repro.obs.profiling import span, timed
+from repro.obs.provenance import ProvenanceRecorder
 from repro.obs.recorder import (
     NullRecorder,
     Recorder,
@@ -50,13 +52,16 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullRecorder",
+    "ProvenanceRecorder",
     "Recorder",
+    "RunLedger",
     "SMALL_INT_BUCKETS",
     "TIME_BUCKETS_S",
     "TraceEvent",
     "Tracer",
     "disable",
     "enable",
+    "environment_fingerprint",
     "format_report",
     "get_recorder",
     "is_enabled",

@@ -1,0 +1,203 @@
+"""Answer "why is / isn't this transmission in this cell?" from artifacts.
+
+``repro explain`` loads a saved schedule + topology and re-derives, for
+one link and one slot, the exact Section V-A constraint chain a
+``findSlot`` scan would walk there: the transmission-conflict check
+(node-busy), then the per-offset channel constraint — channel-busy for
+ρ = ∞, or the min-reuse-distance threshold for finite ρ, *naming the
+blocking occupant* and its hop distance.  The same classifier backs the
+decision-provenance recorder (:mod:`repro.obs.provenance`), so what
+``explain`` prints offline is what the scheduler recorded live.
+
+When a provenance dump is supplied, the recorded decisions for the link
+(probes, laxity evaluations, ρ-descent) are rendered after the derived
+verdicts — the derived chain says what the *final* schedule state
+implies; the recorded decision says what the scheduler actually saw
+mid-construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.obs.provenance import (
+    ACCEPT,
+    REASON_CHANNEL_BUSY,
+    REASON_NODE_BUSY,
+    REASON_REUSE_DISTANCE,
+    REASON_WINDOW,
+    offset_verdicts,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.schedule import Schedule
+    from repro.network.graphs import ChannelReuseGraph
+
+
+def _rho_label(rho: float) -> str:
+    return "inf (no reuse)" if rho == math.inf else str(int(rho))
+
+
+def explain_cell(schedule: "Schedule", reuse_graph: "ChannelReuseGraph",
+                 sender: int, receiver: int, slot: int, rho: float,
+                 ) -> List[str]:
+    """The constraint chain for link ``(sender, receiver)`` at one slot.
+
+    Returns printable lines: where the link actually landed, whether the
+    queried slot passes the transmission-conflict check, and the
+    per-offset channel-constraint verdicts at hop count ``rho`` —
+    naming the blocking occupant and its reuse-graph distance for every
+    rejected offset.
+    """
+    lines: List[str] = [
+        f"link ({sender} -> {receiver}) at slot {slot}, "
+        f"rho = {_rho_label(rho)}"]
+
+    placements = [entry for entry in schedule.entries
+                  if entry.request.sender == sender
+                  and entry.request.receiver == receiver]
+    here = [entry for entry in placements if entry.slot == slot]
+    if here:
+        for entry in here:
+            sharing = [other for other in
+                       schedule.cell(entry.slot, entry.offset)
+                       if other is not entry]
+            where = f"offset {entry.offset}"
+            if sharing:
+                others = ", ".join(
+                    f"({o.request.sender} -> {o.request.receiver})"
+                    for o in sharing)
+                where += f", sharing the cell with {others}"
+            lines.append(
+                f"  SCHEDULED here at {where} "
+                f"(flow {entry.request.flow_id}, hop "
+                f"{entry.request.hop_index}, attempt "
+                f"{entry.request.attempt})")
+    elif placements:
+        spots = ", ".join(f"slot {e.slot} offset {e.offset}"
+                          for e in placements[:6])
+        suffix = ", ..." if len(placements) > 6 else ""
+        lines.append(f"  not scheduled here; the link occupies: "
+                     f"{spots}{suffix}")
+    else:
+        lines.append("  the link appears nowhere in this schedule")
+
+    # Transmission-conflict constraint (Section V-A, conflict freedom).
+    blockers = [entry for entry in schedule.slot_transmissions(slot)
+                if not (entry.request.sender == sender
+                        and entry.request.receiver == receiver)
+                and {entry.request.sender, entry.request.receiver}
+                & {sender, receiver}]
+    if blockers:
+        for entry in blockers:
+            shared = sorted({entry.request.sender, entry.request.receiver}
+                            & {sender, receiver})
+            nodes = " and ".join(f"node {n}" for n in shared)
+            lines.append(
+                f"  {REASON_NODE_BUSY}: {nodes} already active in "
+                f"({entry.request.sender} -> {entry.request.receiver}) "
+                f"@ offset {entry.offset} (flow {entry.request.flow_id})")
+        lines.append(f"  verdict: slot {slot} REJECTED "
+                     f"({REASON_NODE_BUSY}) — findSlot skips it at any rho")
+        return lines
+
+    lines.append("  no transmission conflict: no other link occupies "
+                 f"either endpoint in slot {slot}")
+    if here:
+        lines.append("  (channel verdicts below treat the link's own "
+                     "placement as an occupant)")
+
+    # Channel constraint, offset by offset.
+    verdicts = offset_verdicts(schedule, reuse_graph, sender, receiver,
+                               slot, rho)
+    feasible = [v["offset"] for v in verdicts if v["verdict"] == ACCEPT]
+    for verdict in verdicts:
+        offset = verdict["offset"]
+        if verdict["verdict"] == ACCEPT:
+            note = ("free" if verdict["load"] == 0
+                    else f"reusable, load {verdict['load']}")
+            lines.append(f"  offset {offset}: feasible ({note})")
+        elif verdict["verdict"] == REASON_CHANNEL_BUSY:
+            occupants = ", ".join(
+                f"({e.request.sender} -> {e.request.receiver})"
+                for e in schedule.cell(slot, offset))
+            lines.append(f"  offset {offset}: {REASON_CHANNEL_BUSY} — "
+                         f"occupied by {occupants} and rho = inf forbids "
+                         f"sharing")
+        else:
+            x, y = verdict["blocker"]
+            lines.append(
+                f"  offset {offset}: {REASON_REUSE_DISTANCE} — occupant "
+                f"({x} -> {y}) is {verdict['distance']} hop(s) away on "
+                f"the reuse graph, closer than rho = {_rho_label(rho)}")
+    if feasible:
+        lines.append(f"  verdict: slot {slot} FEASIBLE at offsets "
+                     f"{feasible}")
+    else:
+        reason = (REASON_CHANNEL_BUSY if rho == math.inf
+                  else REASON_REUSE_DISTANCE)
+        lines.append(f"  verdict: slot {slot} REJECTED ({reason}) — "
+                     f"no offset satisfies the channel constraint")
+    return lines
+
+
+def format_decision(record: Dict) -> List[str]:
+    """Printable lines for one recorded provenance decision."""
+    placed = record.get("placed")
+    outcome = (f"placed at slot {placed[0]} offset {placed[1]}"
+               f"{' (reused cell)' if record.get('reused') else ''}"
+               if placed else "REJECTED (deadline exhausted)")
+    lines = [
+        f"decision #{record['id']} [{record['policy']}] "
+        f"flow {record['flow']} instance {record['instance']} "
+        f"hop {record['hop']} attempt {record['attempt']}: {outcome}",
+        f"  window: release {record['release']}, earliest "
+        f"{record['earliest']}, deadline {record['deadline']}"
+        + (" (precedence-bound)" if "precedence_bound" in record else ""),
+    ]
+    for probe in record.get("probes", []):
+        rho = "inf" if probe["rho"] is None else probe["rho"]
+        chain = ", ".join(f"{reason} x{count}"
+                          for reason, count in probe.get("chain", []))
+        result = probe.get("result")
+        hit = (f"-> slot {result[0]} offset {result[1]}" if result
+               else f"-> none ({probe.get('exhausted', REASON_WINDOW)})")
+        lines.append(f"  probe rho={rho}: [{chain or 'empty window'}] {hit}")
+    for entry in record.get("laxity", []):
+        rho = "inf" if entry["rho"] is None else entry["rho"]
+        lines.append(f"  laxity @ slot {entry['slot']} (rho={rho}): "
+                     f"{entry['laxity']}")
+    for step in record.get("descent", []):
+        src = "inf" if step["from"] is None else step["from"]
+        lines.append(f"  rho descent: {src} -> {step['to']}")
+    return lines
+
+
+def explain_from_provenance(records: List[Dict], sender: int,
+                            receiver: int,
+                            slot: Optional[int] = None) -> List[str]:
+    """Recorded decisions for a link (optionally only those naming a slot).
+
+    ``slot`` filters to decisions whose final placement or probe results
+    touch that slot.
+    """
+    lines: List[str] = []
+    for record in records:
+        if record.get("kind") != "decision":
+            continue
+        if (record.get("sender"), record.get("receiver")) != (sender,
+                                                              receiver):
+            continue
+        if slot is not None:
+            touched = set()
+            placed = record.get("placed")
+            if placed:
+                touched.add(placed[0])
+            for probe in record.get("probes", []):
+                if probe.get("result"):
+                    touched.add(probe["result"][0])
+            if slot not in touched:
+                continue
+        lines.extend(format_decision(record))
+    return lines

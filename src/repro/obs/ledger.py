@@ -1,0 +1,196 @@
+"""The run ledger: one append-only record per CLI invocation.
+
+Every *producing* ``repro`` command — experiments, the manager, the
+benchmark harness, the fuzzer — appends one JSON record to an
+append-only ``runs.jsonl`` (see :class:`RunLedger`), so six months
+later "which invocation produced this artifact, with what config, on
+what machine, and did it finish?" is a grep instead of an archaeology
+dig.  Records carry:
+
+* ``run_id`` — ``<utc-stamp>-<config-hash-prefix>-<pid>``, unique
+  enough to cite in reports and stable enough to diff;
+* the full ``argv`` and a canonical-JSON ``config_hash`` of the parsed
+  arguments (two runs with the same hash ran the same configuration,
+  whatever order the flags were typed in);
+* ``seeds`` and an environment fingerprint (python / numpy / platform /
+  CPU count) — the reproducibility envelope;
+* wall time, exit ``status`` (``"ok"``, ``"error:<Type>"``, or an
+  integer exit code), and the paths of every artifact the run wrote
+  (metrics snapshots, traces, reports, provenance dumps).
+
+``repro ledger list / show / diff`` query the file; ``diff`` renders
+what changed between two runs' configs, environments, and headline
+metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+#: Default ledger location, relative to the invoking working directory.
+DEFAULT_LEDGER = "runs.jsonl"
+
+
+def environment_fingerprint() -> Dict:
+    """The reproducibility envelope: interpreter, libraries, machine."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def config_hash(config: Dict) -> str:
+    """SHA-256 of the canonical JSON form of a configuration dict.
+
+    Keys are sorted and values JSON-normalized, so flag order and dict
+    iteration order never change the hash; non-JSON values (Paths,
+    functions) are stringified.
+    """
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def new_record(command: str, argv: Sequence[str], config: Dict,
+               seeds: Optional[Sequence[int]] = None) -> Dict:
+    """Open a run record (caller fills outcome fields before appending).
+
+    ``wall_s``, ``status``, ``artifacts``, and ``metrics`` stay unset
+    here; :meth:`RunLedger.commit` stamps them when the run finishes.
+    """
+    digest = config_hash(config)
+    started = time.time()
+    stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime(started))
+    return {
+        "kind": "run",
+        "run_id": f"{stamp}-{digest[:8]}-{os.getpid()}",
+        "command": command,
+        "argv": list(argv),
+        "config": {key: _jsonable(value)
+                   for key, value in sorted(config.items())},
+        "config_hash": digest,
+        "seeds": [int(s) for s in seeds] if seeds is not None else [],
+        "env": environment_fingerprint(),
+        "started_at": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                    time.gmtime(started)),
+        "_started": started,
+    }
+
+
+def _jsonable(value):
+    """JSON-safe view of an argparse value (Paths become strings)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class RunLedger:
+    """Append-only JSON Lines ledger of CLI runs.
+
+    Args:
+        path: The ledger file; created (with parents) on first append.
+    """
+
+    def __init__(self, path: Union[str, Path] = DEFAULT_LEDGER):
+        self.path = Path(path)
+
+    def commit(self, record: Dict, status: Union[str, int] = "ok",
+               artifacts: Optional[Sequence[str]] = None,
+               metrics: Optional[Dict] = None) -> Dict:
+        """Stamp a record's outcome and append it to the ledger.
+
+        Args:
+            record: An open record from :func:`new_record`.
+            status: ``"ok"``, ``"error:<Type>"``, or the command's
+                integer exit code.
+            artifacts: Paths of files the run wrote.
+            metrics: A small headline-metrics dict (counter totals), not
+                a full snapshot — the snapshot's *path* belongs in
+                ``artifacts``.
+
+        Returns:
+            The completed record, as written.
+        """
+        record = dict(record)
+        started = record.pop("_started", None)
+        record["wall_s"] = (round(time.time() - started, 6)
+                            if started is not None else None)
+        record["status"] = status
+        record["artifacts"] = [str(p) for p in (artifacts or [])]
+        if metrics:
+            record["metrics"] = {key: _jsonable(value)
+                                 for key, value in sorted(metrics.items())}
+        from repro.io import append_jsonl
+
+        append_jsonl([record], self.path)
+        return record
+
+    def records(self) -> List[Dict]:
+        """All ledger records, oldest first (empty when no ledger yet)."""
+        if not self.path.exists():
+            return []
+        from repro.io import load_jsonl
+
+        return load_jsonl(self.path)
+
+    def find(self, run_id: str) -> Optional[Dict]:
+        """The record with a run id (prefix match accepted, latest wins)."""
+        match = None
+        for record in self.records():
+            candidate = record.get("run_id", "")
+            if candidate == run_id or candidate.startswith(run_id):
+                match = record
+        return match
+
+
+def diff_records(a: Dict, b: Dict) -> List[str]:
+    """Human-readable differences between two run records.
+
+    Compares command, config (per key), environment, wall time, status,
+    and headline metrics; returns one line per difference (empty when
+    the runs are equivalent).
+    """
+    lines: List[str] = []
+    if a.get("command") != b.get("command"):
+        lines.append(f"command: {a.get('command')} -> {b.get('command')}")
+    config_a, config_b = a.get("config", {}), b.get("config", {})
+    for key in sorted(set(config_a) | set(config_b)):
+        left = config_a.get(key, "<unset>")
+        right = config_b.get(key, "<unset>")
+        if left != right:
+            lines.append(f"config.{key}: {left} -> {right}")
+    env_a, env_b = a.get("env", {}), b.get("env", {})
+    for key in sorted(set(env_a) | set(env_b)):
+        if env_a.get(key) != env_b.get(key):
+            lines.append(f"env.{key}: {env_a.get(key)} -> {env_b.get(key)}")
+    if a.get("status") != b.get("status"):
+        lines.append(f"status: {a.get('status')} -> {b.get('status')}")
+    wall_a, wall_b = a.get("wall_s"), b.get("wall_s")
+    if wall_a and wall_b and wall_a > 0:
+        lines.append(f"wall_s: {wall_a:.3f} -> {wall_b:.3f} "
+                     f"({wall_b / wall_a - 1.0:+.1%})")
+    metrics_a, metrics_b = a.get("metrics", {}), b.get("metrics", {})
+    for key in sorted(set(metrics_a) | set(metrics_b)):
+        left = metrics_a.get(key, "<unset>")
+        right = metrics_b.get(key, "<unset>")
+        if left != right:
+            lines.append(f"metrics.{key}: {left} -> {right}")
+    return lines

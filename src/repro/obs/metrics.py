@@ -106,10 +106,23 @@ class Histogram:
         }
 
     def merge_dict(self, data: Dict) -> None:
-        """Fold a snapshot of another histogram with identical buckets."""
-        if tuple(float(b) for b in data["buckets"]) != self.buckets:
+        """Fold a snapshot of another histogram with identical buckets.
+
+        Raises:
+            ValueError: When the snapshot's bucket bounds differ from
+                this histogram's — raised before any bin is touched, so
+                a failed merge leaves the histogram unchanged.
+        """
+        theirs = tuple(float(b) for b in data["buckets"])
+        if theirs != self.buckets:
             raise ValueError(
-                f"histogram {self.name}: bucket mismatch on merge")
+                f"histogram {self.name!r}: bucket bounds mismatch on "
+                f"merge — registry has {list(self.buckets)}, snapshot "
+                f"has {list(theirs)}")
+        if len(data["counts"]) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name!r}: snapshot has "
+                f"{len(data['counts'])} bins, expected {len(self.counts)}")
         for index, count in enumerate(data["counts"]):
             self.counts[index] += int(count)
         self.count += int(data["count"])

@@ -25,12 +25,23 @@ from repro.obs.trace import Tracer
 
 
 class Recorder:
-    """Bundles a :class:`MetricsRegistry` and a :class:`Tracer`."""
+    """Bundles a :class:`MetricsRegistry` and a :class:`Tracer`.
+
+    ``provenance`` optionally attaches a
+    :class:`repro.obs.provenance.ProvenanceRecorder`; it defaults to
+    None (decision provenance is opt-in on top of an enabled recorder,
+    and this module must not import :mod:`repro.obs.provenance` — core
+    modules import this one at load time and provenance reaches back
+    into core).  Instrumentation sites check ``ENABLED`` first, then
+    ``RECORDER.provenance is not None``.
+    """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 provenance=None):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.provenance = provenance
 
     def count(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name``."""
@@ -61,6 +72,7 @@ class NullRecorder:
     def __init__(self):
         self.registry = MetricsRegistry()
         self.tracer = Tracer(capacity=1)
+        self.provenance = None
 
     def count(self, name: str, amount: float = 1.0) -> None:
         """Discard."""

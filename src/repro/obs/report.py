@@ -69,8 +69,18 @@ def _phase_table(counters: Dict[str, float]) -> List[str]:
 
 
 def format_report(snapshot: Dict,
-                  trace_kind_counts: Optional[Dict[str, int]] = None) -> str:
-    """Render a metrics snapshot (and optional trace summary) as text."""
+                  trace_kind_counts: Optional[Dict[str, int]] = None,
+                  trace_dropped: Optional[int] = None) -> str:
+    """Render a metrics snapshot (and optional trace summary) as text.
+
+    Args:
+        snapshot: The metrics snapshot to render.
+        trace_kind_counts: Per-kind event counts of an accompanying
+            trace (meta trailer records excluded by the caller).
+        trace_dropped: Ring evictions reported by the trace's
+            ``trace_meta`` trailer; printed even when zero so a
+            complete trace is *visibly* complete.
+    """
     counters = snapshot.get("counters", {})
     histograms = snapshot.get("histograms", {})
     sections: List[List[str]] = []
@@ -132,6 +142,11 @@ def format_report(snapshot: Dict,
         lines = ["trace events by kind:"]
         for kind in sorted(trace_kind_counts):
             lines.append(f"  {kind:<30} {trace_kind_counts[kind]:>12}")
+        total = sum(trace_kind_counts.values())
+        lines.append(f"  {'total retained':<30} {total:>12}")
+        if trace_dropped is not None:
+            lines.append(f"  {'dropped (ring evictions)':<30} "
+                         f"{trace_dropped:>12}")
         sections.append(lines)
 
     if not sections:

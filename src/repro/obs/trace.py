@@ -20,6 +20,13 @@ kind                      emitted by / meaning
 ``sim_repetition``        simulator — per-repetition link outcomes
 ``ks_decision``           detection — verdict for one reuse link
 ``phase``                 :func:`repro.obs.profiling.span` — timed scope
+``manager_epoch``         network manager — one closed-loop epoch's
+                          health verdicts and remediation action
+``manager_audit_failed``  network manager — a rebuilt schedule failed
+                          its pre-flight audit and was rolled back
+``trace_meta``            :meth:`Tracer.export_jsonl` — export trailer
+                          accounting for ring evictions (``dropped``,
+                          ``capacity``); not an in-ring event
 ========================  ==============================================
 """
 
@@ -103,11 +110,20 @@ class Tracer:
     def export_jsonl(self, path) -> int:
         """Write the retained events as JSON Lines via :mod:`repro.io`.
 
+        The file ends with a ``trace_meta`` trailer record —
+        ``{"kind": "trace_meta", "dropped": N, "capacity": C}`` — so an
+        exported trace is honest about ring evictions: without it, a
+        trace that silently lost its oldest events is indistinguishable
+        from a complete one.  Consumers summarizing by ``kind`` should
+        skip the trailer (it is bookkeeping, not an observed event).
+
         Returns:
-            The number of events written.
+            The number of events written (the trailer excluded).
         """
         # Imported lazily: repro.io pulls in the core model, which itself
         # imports repro.obs for instrumentation.
         from repro.io import save_jsonl
 
-        return save_jsonl(self.event_dicts(), path)
+        trailer = {"kind": "trace_meta", "dropped": self.dropped,
+                   "capacity": self.capacity}
+        return save_jsonl(self.event_dicts() + [trailer], path) - 1

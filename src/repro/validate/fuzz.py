@@ -13,7 +13,14 @@ and, for each case:
   a vector-kernel run inside ``obs.recording()`` pins the stepwise
   loop);
 * runs the independent auditor (:func:`repro.validate.audit
-  .audit_schedule`) over every produced schedule;
+  .audit_schedule`) over every produced schedule — an audit failure's
+  artifact embeds a decision-provenance slice for the violating cells
+  (the case is replayed under a live
+  :class:`~repro.obs.provenance.ProvenanceRecorder` and decisions
+  touching a violation's slot or flow are kept);
+* asserts **bit-identical provenance streams** between the scalar and
+  vector kernels for NR / RA / RC, and that recording provenance does
+  not perturb the schedule itself;
 * cross-checks simulator invariants on a schedulable result:
   deliveries never exceed releases per flow, the observability counters
   ``sim.attempts`` / ``sim.successes`` / ``sim.deliveries`` equal the
@@ -44,6 +51,7 @@ from repro.experiments.common import (PreparedNetwork, build_workload,
 from repro.flows.flow import FlowSet
 from repro.flows.generator import PeriodRange
 from repro.obs import recorder as _obs
+from repro.obs.provenance import ProvenanceRecorder
 from repro.obs.recorder import Recorder
 from repro.routing.shortest_path import NoRouteError
 from repro.routing.traffic import TrafficType
@@ -244,26 +252,61 @@ def _run_scheduler(network: PreparedNetwork, flow_set: FlowSet, policy
     return scheduler.run(flow_set)
 
 
+#: Hard cap on the provenance slice embedded in an audit-failure
+#: artifact (decisions touching the violating slots / flows).
+_MAX_PROVENANCE_SLICE = 50
+
+
+def _provenance_for_violations(network: PreparedNetwork, flow_set: FlowSet,
+                               policy_factory: Callable, report) -> List[Dict]:
+    """Replay a failing case under a live provenance recorder and keep
+    the decisions that touch a violation's slot or flow — the artifact
+    then says not just *what* invariant broke but *which placement
+    decisions* produced the offending cells."""
+    prov = ProvenanceRecorder()
+    with _kernel.kernel_mode(_kernel.KERNEL_VECTOR), \
+            _obs.recording(Recorder(provenance=prov)):
+        _run_scheduler(network, flow_set, policy_factory())
+    slots = {v.slot for v in report.violations if v.slot is not None}
+    flows = {v.flow_id for v in report.violations if v.flow_id is not None}
+    kept: List[Dict] = []
+    for record in prov.decisions():
+        placed = record.get("placed")
+        if (placed and placed[0] in slots) or record.get("flow") in flows:
+            kept.append(record)
+            if len(kept) >= _MAX_PROVENANCE_SLICE:
+                break
+    return kept
+
+
 def _audit_result(case: FuzzCaseResult, label: str, network: PreparedNetwork,
                   flow_set: FlowSet, result: SchedulingResult,
-                  rho_floor: float) -> None:
+                  rho_floor: float,
+                  policy_factory: Optional[Callable] = None) -> None:
     """Run the auditor over one scheduling result."""
     report = audit_schedule(
         result.schedule, network.reuse, rho_floor, flow_set=flow_set,
         expect_complete=result.schedulable)
     if not report.ok:
-        case.fail("audit", f"{label}: {report.summary()}",
-                  audit=report.to_dict())
+        extra = {"audit": report.to_dict()}
+        if policy_factory is not None:
+            extra["provenance"] = _provenance_for_violations(
+                network, flow_set, policy_factory, report)
+        case.fail("audit", f"{label}: {report.summary()}", **extra)
 
 
 def _check_differential_schedules(case: FuzzCaseResult,
                                   network: PreparedNetwork,
-                                  flow_set: FlowSet, rho_t: int
+                                  flow_set: FlowSet, rho_t: int,
+                                  plain_signatures: Dict[str, Tuple],
                                   ) -> Optional[SchedulingResult]:
     """The scalar/vector and stepwise/fused equivalence matrix.
 
-    Returns a schedulable result (for the simulator checks), preferring
-    RC, or None when nothing schedulable was produced.
+    Fills ``plain_signatures`` with each policy's provenance-free
+    schedule signature (the reference the provenance-parity check
+    compares against).  Returns a schedulable result (for the simulator
+    checks), preferring RC, or None when nothing schedulable was
+    produced.
     """
     best_schedulable: Optional[SchedulingResult] = None
 
@@ -279,7 +322,10 @@ def _check_differential_schedules(case: FuzzCaseResult,
                       f"{name}: scalar and vector kernels produced "
                       f"different schedules")
         _audit_result(case, f"{name}/vector", network, flow_set, vector,
-                      rho_floor=math.inf if name == "NR" else rho_t)
+                      rho_floor=math.inf if name == "NR" else rho_t,
+                      policy_factory=lambda name=name: make_policy(name,
+                                                                   rho_t))
+        plain_signatures[name] = _schedule_signature(vector)
         if name == "NR" and vector.schedule.num_reused_cells():
             case.fail("nr_no_reuse",
                       f"NR produced {vector.schedule.num_reused_cells()} "
@@ -311,10 +357,50 @@ def _check_differential_schedules(case: FuzzCaseResult,
                       f"{label}: fused and stepwise descents produced "
                       f"different schedules")
         _audit_result(case, f"{label}/fused", network, flow_set, fused,
-                      rho_floor=rho_t)
+                      rho_floor=rho_t, policy_factory=rc_policy)
         if fused.schedulable:
             best_schedulable = fused
+        if rho_reset == RHO_RESET_TRANSMISSION:
+            plain_signatures["RC"] = _schedule_signature(stepwise)
     return best_schedulable
+
+
+def _check_provenance_parity(case: FuzzCaseResult, network: PreparedNetwork,
+                             flow_set: FlowSet, rho_t: int,
+                             plain_signatures: Dict[str, Tuple]) -> None:
+    """Scalar and vector kernels must narrate placement identically.
+
+    For each policy, both kernel modes run under a live
+    :class:`ProvenanceRecorder`; the recorded decision streams must be
+    bit-identical, and the schedules must match both each other and the
+    provenance-free run of the same policy (recording is an observer,
+    not a participant).
+    """
+    for name in ("NR", "RA", "RC"):
+        streams = {}
+        signatures = {}
+        for mode in (_kernel.KERNEL_SCALAR, _kernel.KERNEL_VECTOR):
+            prov = ProvenanceRecorder()
+            with _kernel.kernel_mode(mode), \
+                    _obs.recording(Recorder(provenance=prov)):
+                result = _run_scheduler(network, flow_set,
+                                        make_policy(name, rho_t))
+            streams[mode] = prov.records()
+            signatures[mode] = _schedule_signature(result)
+        if streams[_kernel.KERNEL_SCALAR] != streams[_kernel.KERNEL_VECTOR]:
+            case.fail("provenance_parity",
+                      f"{name}: scalar and vector kernels recorded "
+                      f"different provenance streams")
+        if signatures[_kernel.KERNEL_SCALAR] != \
+                signatures[_kernel.KERNEL_VECTOR]:
+            case.fail("provenance_schedule_identity",
+                      f"{name}: schedules diverged between kernels while "
+                      f"recording provenance")
+        plain = plain_signatures.get(name)
+        if plain is not None and signatures[_kernel.KERNEL_VECTOR] != plain:
+            case.fail("provenance_schedule_identity",
+                      f"{name}: recording provenance perturbed the "
+                      f"schedule")
 
 
 def _check_simulator(case: FuzzCaseResult, network: PreparedNetwork,
@@ -388,8 +474,11 @@ def run_case(index: int, seed: int) -> FuzzCaseResult:
         return case
     case.params = params
 
+    plain_signatures: Dict[str, Tuple] = {}
     schedulable = _check_differential_schedules(
-        case, network, flow_set, params["rho_t"])
+        case, network, flow_set, params["rho_t"], plain_signatures)
+    _check_provenance_parity(case, network, flow_set, params["rho_t"],
+                             plain_signatures)
     if schedulable is not None:
         _check_simulator(case, network, environment, flow_set, schedulable,
                          params["sim_seed"])

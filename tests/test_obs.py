@@ -93,8 +93,26 @@ class TestMetricsRegistry:
         a, b = MetricsRegistry(), MetricsRegistry()
         a.observe("h", 1, buckets=(1, 2))
         b.observe("h", 1, buckets=(1, 3))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             a.merge_snapshot(b.snapshot())
+        # The error names the metric and both bucket-bound lists.
+        message = str(excinfo.value)
+        assert "'h'" in message
+        assert "[1.0, 2.0]" in message and "[1.0, 3.0]" in message
+        # A failed merge leaves the target histogram untouched.
+        assert a.snapshot()["histograms"]["h"]["counts"] == [1, 0, 0]
+        assert a.snapshot()["histograms"]["h"]["count"] == 1
+
+    def test_merge_rejects_bin_count_mismatch(self):
+        a = MetricsRegistry()
+        a.observe("h", 1, buckets=(1, 2))
+        bad = {"histograms": {"h": {
+            "buckets": [1, 2], "counts": [0, 0], "count": 0,
+            "sum": 0.0, "min": None, "max": None}}}
+        with pytest.raises(ValueError) as excinfo:
+            a.merge_snapshot(bad)
+        assert "'h'" in str(excinfo.value)
+        assert a.snapshot()["histograms"]["h"]["counts"] == [1, 0, 0]
 
     def test_merge_snapshots_static(self):
         snaps = []
@@ -151,8 +169,22 @@ class TestTracer:
         path = tmp_path / "trace.jsonl"
         assert tracer.export_jsonl(path) == 2
         records = load_jsonl(path)
-        assert records == tracer.event_dicts()
+        assert records[:-1] == tracer.event_dicts()
         assert records[1]["to_rho"] == 4
+        trailer = records[-1]
+        assert trailer == {"kind": "trace_meta", "dropped": 0,
+                           "capacity": tracer.capacity}
+
+    def test_jsonl_export_reports_drops(self, tmp_path):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit("placement", flow=i)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        records = load_jsonl(path)
+        assert [r["flow"] for r in records[:-1]] == [3, 4]
+        assert records[-1] == {"kind": "trace_meta", "dropped": 3,
+                               "capacity": 2}
 
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
