@@ -16,20 +16,25 @@ a shell without writing Python:
 * ``fuzz`` — seeded differential fuzzing of scheduler + simulator paths;
 * ``explain`` — constraint chain for one link × slot of a schedule;
 * ``timeline`` — ASCII superframe Gantt of a saved schedule;
-* ``ledger`` — list / show / diff the run ledger (``runs.jsonl``).
+* ``ledger`` — list / show / diff the run ledger (``runs.jsonl``);
+* ``metrics`` — export a snapshot (+ time series) as OpenMetrics text,
+  or strictly validate an exposition file;
+* ``top`` — live ASCII observatory over a run's time-series dump
+  (``--once`` for CI/pipes).
 
 Experiment commands accept ``--workers N`` to fan independent trials
 over N worker processes (0 = all CPUs) with results identical to a
 serial run.
 
 Every experiment command accepts ``--trace FILE`` (structured JSONL
-event trace), ``--metrics-out FILE`` (metrics snapshot JSON), and
-``--provenance FILE`` (per-placement decision records, JSONL); any of
-the three turns the observability layer on for the run (see
-``repro.obs``).  Every *producing* command appends one record — argv,
-config hash, seeds, environment, wall time, exit status, artifact
-paths — to the append-only run ledger (default ``runs.jsonl``;
-``--ledger PATH`` moves it, ``--no-ledger`` skips it).
+event trace), ``--metrics-out FILE`` (metrics snapshot JSON),
+``--provenance FILE`` (per-placement decision records, JSONL), and
+``--timeseries FILE`` (windowed per-epoch series, JSONL); any of the
+four turns the observability layer on for the run (see ``repro.obs``).
+Every *producing* command appends one record — argv, config hash,
+seeds, environment, wall time, exit status, artifact paths — to the
+append-only run ledger (default ``runs.jsonl``; ``--ledger PATH``
+moves it, ``--no-ledger`` skips it).
 """
 
 from __future__ import annotations
@@ -143,11 +148,20 @@ def cmd_detection(args: argparse.Namespace) -> int:
 def _manager_config(args: argparse.Namespace):
     """Build a ManagerConfig from manage/adapt CLI arguments."""
     from repro.manager import ManagerConfig, resolve_scenario
+    from repro.manager.policies import RescheduleVictims
+    from repro.obs.slo import SloConfig
 
     try:
         scenario = resolve_scenario(args.scenario)
+        slo = SloConfig(target_pdr=args.slo_target_pdr,
+                        fast_window=args.slo_fast_window,
+                        slow_window=args.slo_slow_window,
+                        burn_threshold=args.slo_burn_threshold)
     except ValueError as error:
         raise SystemExit(f"error: {error}")
+    policy = getattr(args, "policy", "noop")
+    if args.slo_early_warning and policy == "reschedule":
+        policy = RescheduleVictims(slo_early_warning=True)
     flows = args.flows
     reps = args.reps
     warmup, confirm, cooldown = 2, 2, 1
@@ -158,12 +172,12 @@ def _manager_config(args: argparse.Namespace):
         reps = min(reps, 8)
         warmup, confirm = 1, 1
     return ManagerConfig(
-        scenario=scenario, policy=getattr(args, "policy", "noop"),
+        scenario=scenario, policy=policy,
         scheduler_policy=args.scheduler, rho_t=args.rho_t,
         num_epochs=args.epochs, repetitions_per_epoch=reps,
         num_flows=flows, channels=tuple(args.channels),
         seed=args.seed or 0, warmup_epochs=warmup,
-        confirm_epochs=confirm, cooldown_epochs=cooldown)
+        confirm_epochs=confirm, cooldown_epochs=cooldown, slo=slo)
 
 
 def _print_manager_report(report) -> None:
@@ -171,14 +185,16 @@ def _print_manager_report(report) -> None:
     print(f"policy {report.policy} / scenario '{report.scenario}' / "
           f"{report.scheduler_policy} schedules / seed {report.seed}")
     print(f"{'epoch':>5} {'conditions':<24} {'median':>7} {'worst':>7} "
-          f"{'reuse':>6} {'rej':>4} {'acc':>4} {'susp':>5}  action")
+          f"{'reuse':>6} {'rej':>4} {'acc':>4} {'susp':>5} {'slo':>4}  "
+          f"action")
     for o in report.epochs:
         action = o.action or "-"
         if o.action and not o.action_applied:
             action += " (failed)"
         print(f"{o.epoch:>5} {o.conditions:<24} {o.median_pdr:7.3f} "
               f"{o.worst_pdr:7.3f} {o.num_reuse_links:>6} {o.num_reject:>4} "
-              f"{o.num_accept:>4} {len(o.confirmed_suspects):>5}  {action}")
+              f"{o.num_accept:>4} {len(o.confirmed_suspects):>5} "
+              f"{len(o.slo_alerts):>4}  {action}")
     print(f"  barred links: {len(report.barred_links)}  "
           f"final channels: {list(report.final_channels)}  "
           f"final rho_t: {report.final_rho_t}")
@@ -366,6 +382,11 @@ def cmd_ledger(args: argparse.Namespace) -> int:
 
     ledger = RunLedger(args.ledger)
     records = [r for r in ledger.records() if r.get("kind") == "run"]
+    if ledger.skipped:
+        # Corrupt/truncated lines must not hide the readable history,
+        # but they must not pass silently either.
+        print(f"warning: skipped {ledger.skipped} unparseable line(s) "
+              f"in {ledger.path}", file=sys.stderr)
     if args.action == "list":
         if not records:
             print(f"no runs recorded in {ledger.path}")
@@ -411,6 +432,106 @@ def cmd_ledger(args: argparse.Namespace) -> int:
     for line in lines:
         print(f"  {line}")
     return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.openmetrics import parse_openmetrics, render_openmetrics
+
+    if args.action == "check":
+        # The strict-validation step CI runs against an exported
+        # exposition: exit 0 only when every line parses.
+        try:
+            if args.exposition == "-":
+                text = sys.stdin.read()
+            else:
+                with open(args.exposition, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            families = parse_openmetrics(text)
+        except OSError as error:
+            print(f"error: cannot read {args.exposition}: {error}",
+                  file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(f"invalid exposition: {error}", file=sys.stderr)
+            return 1
+        samples = sum(len(f["samples"]) for f in families.values())
+        print(f"ok: {len(families)} families, {samples} samples")
+        return 0
+
+    # export: snapshot-file mode — no server, just text a Prometheus
+    # textfile collector (or a test) can pick up.
+    from repro.io import load_metrics
+    from repro.obs.timeseries import TimeSeriesStore
+
+    if not args.metrics and not args.timeseries_in:
+        print("error: metrics export needs --metrics and/or --timeseries",
+              file=sys.stderr)
+        return 2
+    try:
+        snapshot = load_metrics(args.metrics) if args.metrics else {}
+        timeseries = (TimeSeriesStore.load_jsonl(args.timeseries_in)
+                      if args.timeseries_in else None)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot load inputs: {error}", file=sys.stderr)
+        return 2
+    if not args.openmetrics:
+        print("error: metrics export currently requires --openmetrics",
+              file=sys.stderr)
+        return 2
+    text = render_openmetrics(snapshot, timeseries)
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"openmetrics exposition -> {args.out}")
+    if args.check:
+        parse_openmetrics(text)  # raises ValueError on a render bug
+        print("exposition validated (strict parse)")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.io import load_metrics
+    from repro.obs.slo import SloConfig
+    from repro.obs.timeseries import TimeSeriesStore
+    from repro.obs.top import render_top
+
+    try:
+        slo_config = SloConfig(target_pdr=args.slo_target_pdr,
+                               burn_threshold=args.slo_burn_threshold)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+
+    def render_once() -> str:
+        timeseries = TimeSeriesStore.load_jsonl(args.timeseries_in)
+        snapshot = load_metrics(args.metrics) if args.metrics else None
+        return render_top(timeseries, snapshot, slo_config=slo_config,
+                          max_flows=args.max_flows,
+                          ascii_only=args.ascii,
+                          source=str(args.timeseries_in))
+
+    try:
+        if args.once:
+            print(render_once(), end="")
+            return 0
+        # Live mode: re-read the dump and repaint until interrupted.
+        # \x1b[H\x1b[2J = cursor home + clear screen; plain ANSI, no
+        # curses dependency.
+        while True:
+            frame = render_once()
+            sys.stdout.write("\x1b[H\x1b[2J" + frame)
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot read {args.timeseries_in}: {error}",
+              file=sys.stderr)
+        return 2
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -539,6 +660,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--provenance", default=None, metavar="FILE",
                        help="record per-placement decision provenance "
                             "(JSONL)")
+        p.add_argument("--timeseries", default=None, metavar="FILE",
+                       help="record windowed per-epoch time series "
+                            "(JSONL; drives 'repro top' and the "
+                            "OpenMetrics export)")
         p.add_argument("--workers", type=int, default=1,
                        help="worker processes for trial fan-out "
                             "(0 = all CPUs)")
@@ -606,6 +731,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "faster-acting hysteresis")
         p.add_argument("--report-out", default=None, metavar="FILE",
                        help="write the ManagerReport(s) as JSON")
+        p.add_argument("--slo-target-pdr", type=float, default=0.9,
+                       help="per-flow PDR objective (error budget is "
+                            "1 - target)")
+        p.add_argument("--slo-fast-window", type=int, default=5,
+                       help="fast burn-rate window (epochs)")
+        p.add_argument("--slo-slow-window", type=int, default=30,
+                       help="slow burn-rate window (epochs)")
+        p.add_argument("--slo-burn-threshold", type=float, default=2.0,
+                       help="burn rate at/above which a window is hot")
+        p.add_argument("--slo-early-warning", action="store_true",
+                       help="let the reschedule policy act on SLO "
+                            "burn alerts before K-S confirmation")
 
     p = sub.add_parser("manage",
                        help="closed-loop manager under a fault scenario")
@@ -750,14 +887,66 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ledger file to query")
     p.set_defaults(func=cmd_ledger)
 
+    p = sub.add_parser("metrics",
+                       help="export metrics as OpenMetrics text, or "
+                            "validate an exposition")
+    msub = p.add_subparsers(dest="action", required=True)
+    pe = msub.add_parser("export",
+                         help="render a snapshot (+ series) as "
+                              "OpenMetrics text")
+    pe.add_argument("--metrics", default=None, metavar="FILE",
+                    help="metrics snapshot JSON from --metrics-out")
+    pe.add_argument("--timeseries", dest="timeseries_in", default=None,
+                    metavar="FILE",
+                    help="time-series JSONL from --timeseries; latest "
+                         "samples become labeled gauges")
+    pe.add_argument("--openmetrics", action="store_true",
+                    help="emit OpenMetrics text exposition (required; "
+                         "reserved for future formats)")
+    pe.add_argument("--out", default="-", metavar="FILE",
+                    help="output file ('-' = stdout)")
+    pe.add_argument("--check", action="store_true",
+                    help="strict-parse the rendered exposition before "
+                         "exiting")
+    pe.set_defaults(func=cmd_metrics)
+    pc = msub.add_parser("check",
+                         help="strictly validate an OpenMetrics "
+                              "exposition file")
+    pc.add_argument("exposition", help="exposition file ('-' = stdin)")
+    pc.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("top",
+                       help="live ASCII observatory over a run's "
+                            "time-series dump")
+    # dest is timeseries_in, NOT timeseries: _run_command treats a
+    # "timeseries" attribute as a recording *output* path and would
+    # overwrite the dump being viewed.
+    p.add_argument("timeseries_in", metavar="TIMESERIES",
+                   help="time-series JSONL written by --timeseries")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="metrics snapshot JSON for the health panel")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (CI/pipes)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh interval in live mode (seconds)")
+    p.add_argument("--max-flows", type=int, default=12,
+                   help="rows in the per-flow SLO table")
+    p.add_argument("--ascii", action="store_true",
+                   help="pure-ASCII sparklines and bars")
+    p.add_argument("--slo-target-pdr", type=float, default=0.9,
+                   help="PDR objective used to label flow states")
+    p.add_argument("--slo-burn-threshold", type=float, default=2.0,
+                   help="burn rate at/above which a window is hot")
+    p.set_defaults(func=cmd_top)
+
     return parser
 
 
 #: ``args`` attributes whose values are files the run writes; collected
 #: into the ledger record so every artifact names the run that made it.
-_ARTIFACT_ARGS = ("trace", "metrics_out", "provenance", "save",
-                  "report_out", "out", "artifacts", "schedule_out",
-                  "flows_out", "topology_out", "history")
+_ARTIFACT_ARGS = ("trace", "metrics_out", "provenance", "timeseries",
+                  "save", "report_out", "out", "artifacts",
+                  "schedule_out", "flows_out", "topology_out", "history")
 
 
 def _artifact_paths(args: argparse.Namespace) -> List[str]:
@@ -778,7 +967,8 @@ def _run_command(args: argparse.Namespace):
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
     prov_path = getattr(args, "provenance", None)
-    if not (trace_path or metrics_path or prov_path):
+    series_path = getattr(args, "timeseries", None)
+    if not (trace_path or metrics_path or prov_path or series_path):
         return args.func(args), None
 
     from repro.io import save_metrics
@@ -788,7 +978,9 @@ def _run_command(args: argparse.Namespace):
         from repro.obs.provenance import ProvenanceRecorder
 
         prov = ProvenanceRecorder()
-    with obs.recording(obs.Recorder(provenance=prov)) as recorder:
+    timeseries = obs.TimeSeriesStore() if series_path else None
+    with obs.recording(obs.Recorder(provenance=prov,
+                                    timeseries=timeseries)) as recorder:
         status = args.func(args)
         if trace_path:
             written = recorder.tracer.export_jsonl(trace_path)
@@ -804,6 +996,9 @@ def _run_command(args: argparse.Namespace):
                       if prov.dropped else "")
             print(f"provenance: {written} decisions -> "
                   f"{prov_path}{suffix}")
+        if series_path:
+            written = timeseries.export_jsonl(series_path)
+            print(f"timeseries: {written} series -> {series_path}")
     return status, recorder
 
 

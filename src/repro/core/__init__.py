@@ -11,6 +11,7 @@ from repro.core.constraints import (
     validate_schedule,
 )
 from repro.core.kernel import (
+    KERNEL_AUTO,
     KERNEL_SCALAR,
     KERNEL_VECTOR,
     active_kernel,
@@ -18,6 +19,7 @@ from repro.core.kernel import (
     kernel_mode,
     min_reuse_distance,
     prepare_links,
+    resolve_kernel,
     set_kernel,
 )
 from repro.core.laxity import (
@@ -59,6 +61,7 @@ __all__ = [
     "ConservativeReusePolicy",
     "DEFAULT_RHO_T",
     "FixedPriorityScheduler",
+    "KERNEL_AUTO",
     "KERNEL_SCALAR",
     "KERNEL_VECTOR",
     "NO_REUSE",
@@ -88,6 +91,7 @@ __all__ = [
     "find_slot",
     "kernel_mode",
     "min_reuse_distance",
+    "resolve_kernel",
     "set_kernel",
     "offset_satisfies_channel_constraint",
     "placement_is_valid",

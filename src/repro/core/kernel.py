@@ -58,22 +58,71 @@ INFINITE_DISTANCE = np.int32(2 ** 30)
 KERNEL_VECTOR = "vector"
 #: The scalar reference implementation (pre-vectorization hot path).
 KERNEL_SCALAR = "scalar"
+#: Crossover-aware selection: the scheduler resolves auto to a concrete
+#: kernel per run from (policy, workload size) via :func:`resolve_kernel`.
+KERNEL_AUTO = "auto"
+
+#: Below this many transmission requests, RA runs faster under the
+#: scalar kernel: RA places each request once at a fixed ρ, so the
+#: vector kernel's per-``add`` incremental distance maintenance never
+#: amortizes the way RC's descending-ρ retries do.  The tracked
+#: benchmark (BENCH_schedulers.json) measures vector RA 1.2-1.5x
+#: *slower* than scalar across 20-70 flows (~2-8k requests); the
+#: threshold sits above the measured range, on the extrapolated
+#: crossover.  RC is the opposite story — vector wins 2.2-3.4x at
+#: every measured size, widening with load — and NR never queries reuse
+#: distances at all (ρ=∞ reduces to an empty-cell scan; the engine
+#: skips distance maintenance for it under either kernel), so auto
+#: resolves NR to scalar: the two are within noise and scalar is the
+#: path with nothing vectorized left to pay for.
+RA_CROSSOVER_REQUESTS = 16_000
 
 _ACTIVE = KERNEL_VECTOR
 
 
 def active_kernel() -> str:
-    """The kernel mode currently in effect."""
+    """The kernel mode currently in effect (possibly :data:`KERNEL_AUTO`)."""
     return _ACTIVE
 
 
 def set_kernel(mode: str) -> None:
-    """Select the placement kernel (:data:`KERNEL_VECTOR` or
-    :data:`KERNEL_SCALAR`) process-wide."""
+    """Select the placement kernel (:data:`KERNEL_VECTOR`,
+    :data:`KERNEL_SCALAR`, or :data:`KERNEL_AUTO`) process-wide."""
     global _ACTIVE
-    if mode not in (KERNEL_VECTOR, KERNEL_SCALAR):
+    if mode not in (KERNEL_VECTOR, KERNEL_SCALAR, KERNEL_AUTO):
         raise ValueError(f"unknown kernel mode: {mode!r}")
     _ACTIVE = mode
+
+
+def resolve_kernel(policy_name: str, num_requests: int) -> str:
+    """The concrete kernel a scheduler run should execute under.
+
+    When the active mode is a concrete kernel it wins unchanged; under
+    :data:`KERNEL_AUTO` the choice is made per (policy, workload size):
+
+    * ``RC`` → vector (it re-thresholds the same distance rows across
+      its ρ fallbacks and wins at every measured size);
+    * ``RA`` at or above :data:`RA_CROSSOVER_REQUESTS` requests →
+      vector; below, scalar (the measured crossover wart: single-shot
+      fixed-ρ placement does not amortize the incremental distance
+      stacks);
+    * ``NR`` → scalar (its placement never queries reuse distances —
+      the engine skips distance maintenance for it under either kernel
+      — so the kernels are timing-indistinguishable and scalar is the
+      do-nothing choice).
+
+    The scheduler engine resolves auto *before* its run and scopes the
+    concrete mode with :func:`kernel_mode`, so inner branch points only
+    ever observe ``scalar`` or ``vector``.  Code querying distances
+    outside an engine run under auto falls through to the vector path.
+    """
+    if _ACTIVE != KERNEL_AUTO:
+        return _ACTIVE
+    if policy_name == "RC":
+        return KERNEL_VECTOR
+    if policy_name == "RA" and num_requests >= RA_CROSSOVER_REQUESTS:
+        return KERNEL_VECTOR
+    return KERNEL_SCALAR
 
 
 @contextmanager

@@ -277,6 +277,11 @@ class FixedPriorityScheduler:
         """
         if not flow_set.all_routed():
             raise ValueError("all flows must be routed before scheduling")
+        if _kernel.active_kernel() == _kernel.KERNEL_AUTO:
+            # Resolve the crossover-aware choice once per run and scope
+            # it, so every inner branch point sees a concrete kernel.
+            with _kernel.kernel_mode(self._resolve_auto(flow_set)):
+                return self.run(flow_set)
         start_time = time.perf_counter()
         hyperperiod = flow_set.hyperperiod()
         schedule = Schedule(self.num_nodes, hyperperiod, self.num_offsets)
@@ -367,6 +372,22 @@ class FixedPriorityScheduler:
 
         return self._finish(True, schedule, flow_set, start_time,
                             recorder, baseline)
+
+    def _resolve_auto(self, flow_set: FlowSet) -> str:
+        """Concrete kernel for this run under ``kernel="auto"``.
+
+        The workload-size estimate is the number of transmission
+        requests the run will try to place — instances × route hops ×
+        attempts — which is what the measured RA crossover
+        (:data:`repro.core.kernel.RA_CROSSOVER_REQUESTS`) is calibrated
+        against.
+        """
+        hyperperiod = flow_set.hyperperiod()
+        num_requests = sum(
+            (hyperperiod // flow.period_slots) * len(flow.links)
+            * self.attempts_per_link
+            for flow in flow_set)
+        return _kernel.resolve_kernel(self.policy.name, num_requests)
 
     def _finish(self, schedulable: bool, schedule: Schedule,
                 flow_set: FlowSet, start_time: float, recorder, baseline,

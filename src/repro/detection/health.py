@@ -236,6 +236,20 @@ class StreamingHealthMonitor:
         return sorted(link for link, streak in self._suspect_streak.items()
                       if streak >= self.confirm_epochs)
 
+    def streak_counts(self) -> Dict[str, int]:
+        """Current streak-table sizes, for telemetry/time-series feeds.
+
+        Returns:
+            ``{"reject": N, "accept": N, "suspect": N}`` — how many
+            links currently hold a non-zero streak of each kind (not
+            yet necessarily confirmed).
+        """
+        return {
+            "reject": len(self._reject_streak),
+            "accept": len(self._accept_streak),
+            "suspect": len(self._suspect_streak),
+        }
+
     def note_action(self, epoch: int) -> None:
         """Record that remediation ran; restart streaks and cool down."""
         self._last_action_epoch = epoch

@@ -41,9 +41,13 @@ def _adaptation_trial(context: Dict[str, Any], policy: str) -> ManagerReport:
     """One manager run for one policy (the parallel_map trial).
 
     All randomness derives from the shared config's (scenario, seed);
-    the policy name only changes which actions are taken.
+    the policy name only changes which actions are taken.  Each arm
+    records its time series under a ``<policy>/`` prefix so the
+    per-policy SLO and PDR series stay distinguishable when the study
+    runs in-process under one store.
     """
-    config: ManagerConfig = replace(context["config"], policy=policy)
+    config: ManagerConfig = replace(context["config"], policy=policy,
+                                    series_prefix=f"{policy}/")
     manager = NetworkManager(context["topology"], context["environment"],
                              context["plan"], config)
     return manager.run()

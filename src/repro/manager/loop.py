@@ -54,6 +54,7 @@ from repro.manager.faults import (
 from repro.manager.policies import Action, Observation, make_manager_policy
 from repro.network.topology import Topology
 from repro.obs import recorder as _obs
+from repro.obs.slo import STATE_ALERT, STATE_WARN, SloConfig, SloEngine
 from repro.simulator.engine import SimulationConfig, TschSimulator
 from repro.simulator.stats import Link
 from repro.testbeds.layout import FloorPlan
@@ -90,6 +91,15 @@ class ManagerConfig:
         warmup_epochs / confirm_epochs / cooldown_epochs: Streaming
             monitor hysteresis (see
             :class:`~repro.detection.health.StreamingHealthMonitor`).
+        slo: Per-flow objective and burn-rate windows
+            (:class:`~repro.obs.slo.SloConfig`); every epoch the
+            manager feeds the simulator's per-flow tallies to an
+            :class:`~repro.obs.slo.SloEngine` and exposes the alert
+            state to the remediation policy as an early-warning input
+            alongside the K-S verdicts.
+        series_prefix: Prepended to every time-series name this run
+            records (so concurrent managers — e.g. the adaptation
+            study's per-policy arms — don't collide in one store).
     """
 
     scenario: Union[str, ConditionSchedule] = "reuse-storm"
@@ -106,6 +116,8 @@ class ManagerConfig:
     confirm_epochs: int = 2
     cooldown_epochs: int = 1
     suspect_prr: float = 0.7
+    slo: SloConfig = SloConfig()
+    series_prefix: str = ""
 
     def __post_init__(self) -> None:
         if self.num_epochs < 1:
@@ -142,6 +154,8 @@ class EpochOutcome:
             True when no rebuild was attempted; False means the policy
             produced a schedule that violated the paper's correctness
             contract and the manager rolled it back.
+        slo_alerts / slo_warns: Flow ids whose SLO burn-rate state is
+            ``alert`` / ``warn`` after this epoch.
     """
 
     epoch: int
@@ -160,6 +174,8 @@ class EpochOutcome:
     num_channels: int
     rho_t: int
     audit_ok: bool = True
+    slo_alerts: Tuple[int, ...] = ()
+    slo_warns: Tuple[int, ...] = ()
 
     def to_dict(self) -> Dict:
         """JSON-serializable form (links become 2-lists)."""
@@ -180,6 +196,8 @@ class EpochOutcome:
             "num_channels": self.num_channels,
             "rho_t": self.rho_t,
             "audit_ok": self.audit_ok,
+            "slo_alerts": list(self.slo_alerts),
+            "slo_warns": list(self.slo_warns),
         }
 
 
@@ -334,6 +352,8 @@ class NetworkManager:
             confirm_epochs=config.confirm_epochs,
             cooldown_epochs=config.cooldown_epochs,
             suspect_prr=config.suspect_prr)
+        slo_engine = SloEngine(config.slo,
+                               series_prefix=config.series_prefix)
         report = ManagerReport(
             scenario=self.scenario.name, policy=self.policy.name,
             scheduler_policy=config.scheduler_policy, seed=config.seed)
@@ -356,6 +376,19 @@ class NetworkManager:
             epoch_report = build_epoch_report(stats, epoch)
             diagnoses = diagnose_epoch(epoch_report, config.detection)
             monitor.observe(diagnoses)
+
+            # SLO burn-rate evaluation over this epoch's per-flow
+            # tallies — the detector-independent early-warning signal.
+            slo_states = slo_engine.observe_epoch(
+                epoch, dict(stats.flow_released),
+                dict(stats.flow_delivered))
+            slo_alerts = tuple(s.flow_id for s in slo_states
+                               if s.state == STATE_ALERT)
+            slo_warns = tuple(s.flow_id for s in slo_states
+                              if s.state == STATE_WARN)
+            slo_candidates = self._slo_victim_candidates(
+                slo_alerts, flow_set, schedule, barred)
+
             observation = Observation(
                 epoch=epoch, report=epoch_report, diagnoses=diagnoses,
                 confirmed_victims=monitor.confirmed_reuse_victims(),
@@ -364,7 +397,9 @@ class NetworkManager:
                 channel_prr=stats.channel_prr(),
                 actionable=monitor.actionable(epoch),
                 rho_t=rho_t, num_channels=network.num_channels,
-                barred_links=tuple(sorted(barred)))
+                barred_links=tuple(sorted(barred)),
+                slo_alerts=slo_alerts, slo_warns=slo_warns,
+                slo_victim_candidates=slo_candidates)
 
             action = self.policy.decide(observation)
             applied = False
@@ -399,7 +434,8 @@ class NetworkManager:
                 action_reason=action.reason if action else "",
                 action_applied=applied,
                 num_channels=network.num_channels, rho_t=rho_t,
-                audit_ok=audit_ok)
+                audit_ok=audit_ok,
+                slo_alerts=slo_alerts, slo_warns=slo_warns)
             report.epochs.append(outcome)
 
             if _obs.ENABLED:
@@ -417,12 +453,68 @@ class NetworkManager:
                     num_accept=outcome.num_accept,
                     action=outcome.action, action_applied=applied,
                     action_reason=outcome.action_reason,
-                    audit_ok=audit_ok)
+                    audit_ok=audit_ok,
+                    slo_alerts=len(slo_alerts), slo_warns=len(slo_warns))
+                self._record_epoch_series(epoch, outcome, stats, monitor,
+                                          applied)
 
         report.barred_links = tuple(sorted(barred))
         report.final_channels = tuple(network.topology.channel_map)
         report.final_rho_t = rho_t
         return report
+
+    @staticmethod
+    def _slo_victim_candidates(slo_alerts: Sequence[int],
+                               flow_set: FlowSet, schedule: Schedule,
+                               barred: Set[Link]) -> Tuple[Link, ...]:
+        """Reuse links carried by SLO-alerting flows, as victim hints.
+
+        Burn rates indict *flows*; remediation bars *links*.  The
+        bridge is route membership: a link is a candidate when it is on
+        an alerting flow's route *and* currently shares a cell (reuse
+        is the only cause the manager can remediate by rescheduling).
+        Already-barred links are excluded — re-barring them is a no-op.
+        """
+        if not slo_alerts:
+            return ()
+        alerting = set(slo_alerts)
+        reuse_links = set(schedule.reuse_links())
+        candidates: Set[Link] = set()
+        for flow in flow_set:
+            if flow.flow_id not in alerting:
+                continue
+            for link in flow.links:
+                if link in reuse_links and link not in barred:
+                    candidates.add(link)
+        return tuple(sorted(candidates))
+
+    def _record_epoch_series(self, epoch: int, outcome: EpochOutcome,
+                             stats, monitor: StreamingHealthMonitor,
+                             applied: bool) -> None:
+        """Feed this epoch's network-level samples to the time-series
+        store (the SLO engine already recorded the per-flow series).
+
+        No-op unless the active recorder has a store attached.
+        """
+        recorder = _obs.RECORDER
+        if recorder.timeseries is None:
+            return
+        prefix = self.config.series_prefix
+        recorder.sample(prefix + "manager.median_pdr", epoch,
+                        outcome.median_pdr)
+        recorder.sample(prefix + "manager.worst_pdr", epoch,
+                        outcome.worst_pdr)
+        recorder.sample(prefix + "manager.reuse_links", epoch,
+                        outcome.num_reuse_links)
+        recorder.sample(prefix + "manager.actions", epoch,
+                        1.0 if applied else 0.0)
+        recorder.sample(prefix + "manager.slo_alerting", epoch,
+                        len(outcome.slo_alerts))
+        for kind, count in monitor.streak_counts().items():
+            recorder.sample(prefix + f"manager.health.{kind}_streaks",
+                            epoch, count)
+        for channel, prr in sorted(stats.channel_prr().items()):
+            recorder.sample(prefix + f"channel.{channel}.prr", epoch, prr)
 
     def _apply(self, action: Action, network: PreparedNetwork,
                flow_set: FlowSet, schedule: Schedule, rho_t: int,

@@ -56,6 +56,14 @@ class Observation:
         num_channels: Channels currently in the hopping map.
         barred_links: Links already barred from reuse by earlier
             reschedule actions.
+        slo_alerts / slo_warns: Flow ids whose SLO burn-rate state is
+            ``alert`` / ``warn`` this epoch
+            (:class:`repro.obs.slo.SloEngine`) — the early-warning
+            channel that fires on budget exhaustion before the K-S
+            streaks confirm a cause.
+        slo_victim_candidates: Reuse links on alerting flows' routes,
+            not yet barred — the loop's translation of flow-level SLO
+            alarms into link-level remediation hints.
     """
 
     epoch: int
@@ -69,6 +77,9 @@ class Observation:
     rho_t: int
     num_channels: int
     barred_links: Tuple[Link, ...] = ()
+    slo_alerts: Tuple[int, ...] = ()
+    slo_warns: Tuple[int, ...] = ()
+    slo_victim_candidates: Tuple[Link, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -130,11 +141,19 @@ class RescheduleVictims:
             baseline the K-S test needs.  Moving them to exclusive cells
             is the remedy if reuse was the cause and produces the
             missing baseline if it was not.
+        slo_early_warning: Also consider ``slo_victim_candidates`` —
+            reuse links on flows whose SLO burn rate is in sustained
+            ``alert``.  This acts *ahead* of K-S confirmation (burn
+            windows are shorter than warm-up + confirm streaks), at the
+            cost of occasionally barring a link whose flow was hurt by
+            something reuse removal cannot fix.  Off by default to keep
+            the PR 5 policy behavior bit-identical.
     """
 
     name: str = field(default="RescheduleVictims", init=False)
     max_victims_per_action: int = 20
     include_suspects: bool = True
+    slo_early_warning: bool = False
 
     def decide(self, observation: Observation) -> Optional[Action]:
         """Reschedule confirmed victims (and suspects) not already barred."""
@@ -146,6 +165,11 @@ class RescheduleVictims:
                            if link not in set(candidates)]
         barred = set(observation.barred_links)
         fresh = [link for link in candidates if link not in barred]
+        num_confirmed = len(fresh)
+        if self.slo_early_warning:
+            seen = set(candidates) | barred
+            fresh += [link for link in observation.slo_victim_candidates
+                      if link not in seen]
         if not fresh:
             return None
         worst = sorted(
@@ -156,8 +180,12 @@ class RescheduleVictims:
                 and observation.report.links[link].reuse_prr is not None
                 else 0.0))
         chosen = tuple(worst[:self.max_victims_per_action])
-        return Action(kind="reschedule", victims=chosen,
-                      reason=f"{len(fresh)} confirmed reuse victims")
+        reason = f"{num_confirmed} confirmed reuse victims"
+        if len(fresh) > num_confirmed:
+            reason += (f" + {len(fresh) - num_confirmed} SLO "
+                       f"early-warning candidates "
+                       f"({len(observation.slo_alerts)} flows alerting)")
+        return Action(kind="reschedule", victims=chosen, reason=reason)
 
 
 @dataclass

@@ -8,7 +8,13 @@ The layer has three pieces:
   export (:mod:`repro.obs.trace`);
 * a process-wide :class:`Recorder` behind a module-level ``ENABLED``
   flag (:mod:`repro.obs.recorder`), so instrumented hot paths cost one
-  attribute read when observability is off.
+  attribute read when observability is off;
+* :class:`TimeSeriesStore` — windowed ``(t, value)`` series with
+  bounded retention (:mod:`repro.obs.timeseries`), and on top of it
+  :class:`SloEngine` — per-flow multi-window burn-rate alerting
+  (:mod:`repro.obs.slo`) exported as OpenMetrics text
+  (:mod:`repro.obs.openmetrics`) or an ASCII dashboard
+  (:mod:`repro.obs.top`).
 
 Typical library use::
 
@@ -30,7 +36,9 @@ from repro.obs.metrics import (
     MetricsRegistry,
     SMALL_INT_BUCKETS,
     TIME_BUCKETS_S,
+    quantile_from_buckets,
 )
+from repro.obs.openmetrics import parse_openmetrics, render_openmetrics
 from repro.obs.profiling import span, timed
 from repro.obs.provenance import ProvenanceRecorder
 from repro.obs.recorder import (
@@ -43,11 +51,16 @@ from repro.obs.recorder import (
     recording,
 )
 from repro.obs.report import format_report
+from repro.obs.slo import FlowSloState, SloConfig, SloEngine
+from repro.obs.timeseries import DEFAULT_RETENTION, Series, TimeSeriesStore
+from repro.obs.top import render_top, sparkline
 from repro.obs.trace import DEFAULT_CAPACITY, TraceEvent, Tracer
 
 __all__ = [
     "Counter",
     "DEFAULT_CAPACITY",
+    "DEFAULT_RETENTION",
+    "FlowSloState",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -56,7 +69,11 @@ __all__ = [
     "Recorder",
     "RunLedger",
     "SMALL_INT_BUCKETS",
+    "Series",
+    "SloConfig",
+    "SloEngine",
     "TIME_BUCKETS_S",
+    "TimeSeriesStore",
     "TraceEvent",
     "Tracer",
     "disable",
@@ -65,7 +82,12 @@ __all__ = [
     "format_report",
     "get_recorder",
     "is_enabled",
+    "parse_openmetrics",
+    "quantile_from_buckets",
     "recording",
+    "render_openmetrics",
+    "render_top",
     "span",
+    "sparkline",
     "timed",
 ]

@@ -111,6 +111,9 @@ class RunLedger:
 
     def __init__(self, path: Union[str, Path] = DEFAULT_LEDGER):
         self.path = Path(path)
+        #: Lines skipped by the last :meth:`records` call because they
+        #: were not valid JSON objects (corruption, truncated appends).
+        self.skipped = 0
 
     def commit(self, record: Dict, status: Union[str, int] = "ok",
                artifacts: Optional[Sequence[str]] = None,
@@ -144,12 +147,39 @@ class RunLedger:
         return record
 
     def records(self) -> List[Dict]:
-        """All ledger records, oldest first (empty when no ledger yet)."""
+        """All parseable ledger records, oldest first.
+
+        The ledger is append-only and long-lived, so it accumulates the
+        scars of real use: a run killed mid-append leaves a truncated
+        line, a concurrent writer without file locking can interleave,
+        an editor can mangle a line.  One bad line must not make the
+        whole history unreadable, so unparseable or non-object lines
+        are *skipped* (and counted in :attr:`skipped`) rather than
+        raised — unlike :func:`repro.io.load_jsonl`, which stays strict
+        for artifacts we produce atomically.
+
+        Returns:
+            The valid records, oldest first (empty when no ledger yet).
+        """
+        self.skipped = 0
         if not self.path.exists():
             return []
-        from repro.io import load_jsonl
-
-        return load_jsonl(self.path)
+        records: List[Dict] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped += 1
+                    continue
+                if not isinstance(record, dict):
+                    self.skipped += 1
+                    continue
+                records.append(record)
+        return records
 
     def find(self, run_id: str) -> Optional[Dict]:
         """The record with a run id (prefix match accepted, latest wins)."""

@@ -94,6 +94,10 @@ class Histogram:
         """Arithmetic mean of all observations, or None when empty."""
         return self.sum / self.count if self.count else None
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate (None when empty)."""
+        return quantile_from_buckets(self.buckets, self.counts, q)
+
     def to_dict(self) -> Dict:
         """JSON-serializable form (merged by :meth:`merge_dict`)."""
         return {
@@ -134,6 +138,46 @@ class Histogram:
             ours = getattr(self, bound)
             setattr(self, bound,
                     other if ours is None else pick(ours, other))
+
+
+def quantile_from_buckets(bounds: Sequence[float], counts: Sequence[int],
+                          q: float) -> Optional[float]:
+    """Estimate quantile ``q`` from fixed-bucket histogram bins.
+
+    The estimate is the upper bound of the bucket holding the q-th
+    observation — the same rule Prometheus' ``histogram_quantile``
+    degenerates to at bucket resolution — so the JSON snapshot and the
+    OpenMetrics exposition of one histogram agree exactly.  An
+    observation landing in the overflow bin yields the last finite
+    bound (there is no ``+Inf`` to return a number for).
+
+    Args:
+        bounds: Inclusive bucket upper bounds, strictly increasing.
+        counts: Per-bucket counts, one longer than ``bounds`` (overflow
+            bin last).
+        q: Quantile in [0, 1].
+
+    Returns:
+        The estimated quantile, or None when the histogram is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} bins for {len(bounds)} bounds, "
+            f"got {len(counts)}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    # Rank of the target observation, 1-based; q=0 maps to the first.
+    rank = max(1, int(q * total + 0.5)) if q > 0 else 1
+    rank = min(rank, total)
+    cumulative = 0
+    for index, count in enumerate(counts[:-1]):
+        cumulative += count
+        if cumulative >= rank:
+            return float(bounds[index])
+    return float(bounds[-1])
 
 
 class MetricsRegistry:

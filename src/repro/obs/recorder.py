@@ -32,16 +32,25 @@ class Recorder:
     None (decision provenance is opt-in on top of an enabled recorder,
     and this module must not import :mod:`repro.obs.provenance` — core
     modules import this one at load time and provenance reaches back
-    into core).  Instrumentation sites check ``ENABLED`` first, then
-    ``RECORDER.provenance is not None``.
+    into core).  ``timeseries`` optionally attaches a
+    :class:`repro.obs.timeseries.TimeSeriesStore` under the same
+    contract.  Instrumentation sites check ``ENABLED`` first, then
+    ``RECORDER.provenance is not None`` / ``RECORDER.timeseries is not
+    None``.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 provenance=None):
+                 provenance=None, timeseries=None):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.provenance = provenance
+        self.timeseries = timeseries
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        """Append one time-series sample (no-op without a store)."""
+        if self.timeseries is not None:
+            self.timeseries.record(name, t, value)
 
     def count(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name``."""
@@ -73,6 +82,10 @@ class NullRecorder:
         self.registry = MetricsRegistry()
         self.tracer = Tracer(capacity=1)
         self.provenance = None
+        self.timeseries = None
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        """Discard."""
 
     def count(self, name: str, amount: float = 1.0) -> None:
         """Discard."""

@@ -24,6 +24,8 @@ kind                      emitted by / meaning
                           health verdicts and remediation action
 ``manager_audit_failed``  network manager — a rebuilt schedule failed
                           its pre-flight audit and was rolled back
+``slo_burn``              SLO engine — a flow's burn-rate alert state
+                          changed (``ok`` / ``warn`` / ``alert``)
 ``trace_meta``            :meth:`Tracer.export_jsonl` — export trailer
                           accounting for ring evictions (``dropped``,
                           ``capacity``); not an in-ring event

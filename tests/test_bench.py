@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 
-from repro.bench import bench_schedulers, format_bench, run_bench
+from repro.bench import bench_schedulers, check_auto, format_bench, run_bench
 
 
 class TestBench:
@@ -41,3 +41,44 @@ class TestBench:
         exercises that cross-check end to end."""
         rows = bench_schedulers((6,), seed=2, repetitions=1)
         assert len(rows) == 3  # one per policy, divergence check passed
+
+
+def _auto_row(policy="RA", flows=20, scalar=1.0, vector=2.0, auto=1.0):
+    return {"num_flows": flows, "policy": policy,
+            "scalar": {"wall_s": scalar}, "vector": {"wall_s": vector},
+            "auto": {"wall_s": auto}}
+
+
+class TestCheckAuto:
+    def test_passes_within_tolerance(self):
+        check_auto([_auto_row(auto=1.1)], tolerance=0.15)  # 10% over best
+
+    def test_violation_lists_the_cell(self):
+        import pytest
+
+        rows = [_auto_row(auto=1.0),
+                _auto_row(policy="RC", flows=50, scalar=3.0, vector=1.0,
+                          auto=2.0)]
+        with pytest.raises(AssertionError) as err:
+            check_auto(rows, tolerance=0.15)
+        message = str(err.value)
+        assert "RC@50" in message
+        assert "RA@20" not in message
+
+    def test_skips_rows_without_all_three_kernels(self):
+        # Pre-auto history rows lack the auto cell entirely.
+        check_auto([{"num_flows": 20, "policy": "RA",
+                     "scalar": {"wall_s": 1.0},
+                     "vector": {"wall_s": 2.0}}], tolerance=0.0)
+
+    def test_best_of_one_skips_the_check(self, monkeypatch):
+        """bench_schedulers at repetitions=1 must not run check_auto
+        (best-of-1 timings cannot support a noise-bounded assertion)."""
+        import repro.bench as bench_module
+
+        def boom(rows, tolerance):
+            raise AssertionError("check_auto ran at repetitions=1")
+
+        monkeypatch.setattr(bench_module, "check_auto", boom)
+        rows = bench_module.bench_schedulers((6,), seed=2, repetitions=1)
+        assert all("auto" in row for row in rows)

@@ -431,3 +431,94 @@ class TestCliManager:
         with pytest.raises(SystemExit):
             main(["manage", "--scenario", "definitely-not-a-preset",
                   "--epochs", "2", "--quick"])
+
+
+class TestCliObservatory:
+    """manage --timeseries -> repro top / repro metrics round trip."""
+
+    @pytest.fixture()
+    def managed_artifacts(self, tmp_path, capsys):
+        ts_path = tmp_path / "ts.jsonl"
+        snap_path = tmp_path / "metrics.json"
+        assert main(["manage", "--quick", "--epochs", "4", "--flows", "10",
+                     "--policy", "reschedule", "--seed", "3",
+                     "--timeseries", str(ts_path),
+                     "--metrics-out", str(snap_path),
+                     "--no-ledger"]) == 0
+        return ts_path, snap_path, capsys.readouterr().out
+
+    def test_manage_writes_timeseries_dump(self, managed_artifacts):
+        ts_path, _, out = managed_artifacts
+        assert "timeseries:" in out and str(ts_path) in out
+        lines = [json.loads(l) for l in
+                 ts_path.read_text().splitlines() if l]
+        kinds = {record["kind"] for record in lines}
+        assert kinds == {"series", "ts_meta"}
+        names = {r["name"] for r in lines if r["kind"] == "series"}
+        assert "manager.median_pdr" in names
+        assert any(n.startswith("slo.flow.") for n in names)
+
+    def test_top_once_renders_without_consuming_input(
+            self, managed_artifacts, capsys):
+        ts_path, snap_path, _ = managed_artifacts
+        before = ts_path.read_text()
+        assert main(["top", str(ts_path), "--metrics", str(snap_path),
+                     "--once", "--ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "median PDR" in out
+        assert "flow SLOs" in out
+        assert "manager epochs" in out
+        # Regression: top's input positional must never be treated as a
+        # recording *output* path and overwritten.
+        assert ts_path.read_text() == before
+
+    def test_openmetrics_export_and_check_round_trip(
+            self, managed_artifacts, tmp_path, capsys):
+        ts_path, snap_path, _ = managed_artifacts
+        exp_path = tmp_path / "exposition.txt"
+        assert main(["metrics", "export", "--metrics", str(snap_path),
+                     "--timeseries", str(ts_path), "--openmetrics",
+                     "--out", str(exp_path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "exposition validated (strict parse)" in out
+        text = exp_path.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_slo_pdr{" in text
+        assert "repro_channel_prr{" in text
+        assert main(["metrics", "check", str(exp_path)]) == 0
+        assert capsys.readouterr().out.startswith("ok: ")
+
+    def test_metrics_check_rejects_malformed_exposition(self, tmp_path,
+                                                        capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("repro_x 1\n# EOF\n")
+        assert main(["metrics", "check", str(bad)]) == 1
+        assert "invalid exposition" in capsys.readouterr().err
+        assert main(["metrics", "check", str(tmp_path / "missing.txt")]) \
+            == 2
+
+    def test_metrics_export_requires_an_input(self, capsys):
+        assert main(["metrics", "export", "--openmetrics"]) == 2
+        assert "--metrics and/or --timeseries" in capsys.readouterr().err
+
+    def test_top_missing_dump_errors(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope.jsonl"), "--once"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestCliLedgerCorruption:
+    def test_ledger_list_warns_about_corrupt_lines(self, tmp_path,
+                                                   capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        ledger_path = tmp_path / "runs.jsonl"
+        assert main(["manage", "--quick", "--epochs", "2", "--policy",
+                     "noop", "--scenario", "quiet", "--seed", "1",
+                     "--ledger", str(ledger_path)]) == 0
+        capsys.readouterr()
+        with open(ledger_path, "a", encoding="utf-8") as handle:
+            handle.write('{"half a record...\n')
+        assert main(["ledger", "list", "--ledger", str(ledger_path)]) == 0
+        captured = capsys.readouterr()
+        assert "warning: skipped 1 unparseable line(s)" in captured.err
+        assert "manage" in captured.out  # the good record still lists

@@ -305,3 +305,99 @@ class TestRescheduleEquivalence:
         assert result.schedulable
         barred = set(victims) | {(v, u) for u, v in victims}
         assert not barred & set(result.schedule.reuse_links())
+
+
+# ----------------------------------------------------------------------
+# Crossover-aware auto kernel
+# ----------------------------------------------------------------------
+
+from repro.core.kernel import (  # noqa: E402 (grouped with their tests)
+    KERNEL_AUTO,
+    RA_CROSSOVER_REQUESTS,
+    active_kernel,
+    resolve_kernel,
+    set_kernel,
+)
+
+
+class TestResolveKernel:
+    def test_concrete_modes_win_unchanged(self):
+        with kernel_mode(KERNEL_SCALAR):
+            assert resolve_kernel("RC", 10 ** 9) == KERNEL_SCALAR
+        with kernel_mode(KERNEL_VECTOR):
+            assert resolve_kernel("RA", 1) == KERNEL_VECTOR
+
+    def test_auto_ra_crossover(self):
+        with kernel_mode(KERNEL_AUTO):
+            assert resolve_kernel(
+                "RA", RA_CROSSOVER_REQUESTS - 1) == KERNEL_SCALAR
+            assert resolve_kernel(
+                "RA", RA_CROSSOVER_REQUESTS) == KERNEL_VECTOR
+
+    def test_auto_rc_stays_vector_nr_stays_scalar(self):
+        # RC amortizes the distance rows across its ρ fallbacks at any
+        # size; NR never queries them, so scalar is the no-op choice.
+        with kernel_mode(KERNEL_AUTO):
+            assert resolve_kernel("RC", 1) == KERNEL_VECTOR
+            assert resolve_kernel("RC", 10 ** 9) == KERNEL_VECTOR
+            assert resolve_kernel("NR", 1) == KERNEL_SCALAR
+            assert resolve_kernel("NR", 10 ** 9) == KERNEL_SCALAR
+
+    def test_set_kernel_accepts_auto_and_rejects_junk(self):
+        previous = active_kernel()
+        try:
+            set_kernel(KERNEL_AUTO)
+            assert active_kernel() == KERNEL_AUTO
+        finally:
+            set_kernel(previous)
+        with pytest.raises(ValueError, match="unknown kernel mode"):
+            set_kernel("quantum")
+
+
+class TestAutoRunEquivalence:
+    @pytest.mark.parametrize("policy_name", ["NR", "RA", "RC"])
+    def test_auto_matches_fixed_kernels(self, figure1_workload,
+                                        policy_name):
+        """Whatever auto resolves to, the schedule and work counters are
+        bit-identical to both fixed kernels (which already match)."""
+        network, flow_set = figure1_workload
+        fixed = _run_signature(network, flow_set, policy_name,
+                               KERNEL_SCALAR)
+        auto = _run_signature(network, flow_set, policy_name, KERNEL_AUTO)
+        assert auto == fixed
+
+    def test_auto_is_resolved_before_the_run(self, figure1_workload):
+        """scheduler.run under auto scopes a concrete kernel; the global
+        mode is restored afterwards."""
+        network, flow_set = figure1_workload
+        scheduler = FixedPriorityScheduler(
+            num_nodes=network.topology.num_nodes,
+            num_offsets=network.num_channels,
+            reuse_graph=network.reuse, policy=make_policy("RA", 2))
+        with kernel_mode(KERNEL_AUTO):
+            result = scheduler.run(flow_set)
+            assert active_kernel() == KERNEL_AUTO
+        assert result.schedulable
+
+    def test_resolve_auto_estimates_requests(self, figure1_workload):
+        """The workload estimate is instances x route hops x attempts,
+        and this Figure-1 workload sits below the RA crossover."""
+        network, flow_set = figure1_workload
+        scheduler = FixedPriorityScheduler(
+            num_nodes=network.topology.num_nodes,
+            num_offsets=network.num_channels,
+            reuse_graph=network.reuse, policy=make_policy("RA", 2))
+        hyperperiod = flow_set.hyperperiod()
+        expected = sum(
+            (hyperperiod // flow.period_slots) * len(flow.links)
+            * scheduler.attempts_per_link
+            for flow in flow_set)
+        assert expected < RA_CROSSOVER_REQUESTS
+        with kernel_mode(KERNEL_AUTO):
+            assert scheduler._resolve_auto(flow_set) == KERNEL_SCALAR
+        with kernel_mode(KERNEL_AUTO):
+            rc = FixedPriorityScheduler(
+                num_nodes=network.topology.num_nodes,
+                num_offsets=network.num_channels,
+                reuse_graph=network.reuse, policy=make_policy("RC", 2))
+            assert rc._resolve_auto(flow_set) == KERNEL_VECTOR

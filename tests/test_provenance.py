@@ -322,6 +322,33 @@ class TestRunLedger:
         assert append_jsonl([{"n": 2}, {"n": 3}], path) == 2
         assert [r["n"] for r in load_jsonl(path)] == [1, 2, 3]
 
+    def test_records_skips_corrupt_lines_and_counts_them(self, tmp_path):
+        """Regression: a truncated write (crash mid-append) or stray
+        editor junk must not take the whole ledger down — good records
+        still load, and the damage is tallied in ``skipped``."""
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        first = ledger.commit(new_record("sweep", [], {"n": 1}))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"run_id": "truncat\n')    # crash mid-append
+            handle.write("[1, 2, 3]\n")              # JSON but not a dict
+            handle.write("\n")                       # blank line: ignored
+        second = ledger.commit(new_record("sweep", [], {"n": 2}))
+
+        records = ledger.records()
+        assert [r["config"]["n"] for r in records] == [1, 2]
+        assert ledger.skipped == 2  # blank line is not damage
+
+        # find() still works across the damage, and a clean re-read
+        # resets the tally.
+        assert ledger.find(second["run_id"])["config"]["n"] == 2
+        assert ledger.find(first["run_id"])["config"]["n"] == 1
+        ledger.records()
+        assert ledger.skipped == 2
+        clean = RunLedger(tmp_path / "clean.jsonl")
+        clean.commit(new_record("sweep", [], {"n": 3}))
+        assert clean.records() and clean.skipped == 0
+
 
 # ----------------------------------------------------------------------
 # Timeline rendering
