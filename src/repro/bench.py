@@ -2,10 +2,12 @@
 
 Times the NR / RA / RC schedulers on fixed, seeded Figure-1-style
 workloads (Indriya testbed, 5 channels, centralized traffic) under both
-placement kernels, and times a small schedulability sweep at one and
-several worker processes.  Results land in ``BENCH_schedulers.json`` so
-kernel and parallelism changes leave an auditable performance trail in
-the repository.
+placement kernels, times single-victim remediation both ways —
+warm-start repair (:mod:`repro.core.repair`) vs full barrier rebuild —
+and times a small schedulability sweep at one and several worker
+processes.  Results land in ``BENCH_schedulers.json`` so kernel,
+repair, and parallelism changes leave an auditable performance trail
+in the repository.
 
 Methodology:
 
@@ -73,6 +75,13 @@ QUICK_AUTO_TOLERANCE = 0.75
 #: bench shares a comparable cell with the tracked full baseline.
 FULL_FLOW_COUNTS = (20, 30, 50, 70)
 QUICK_FLOW_COUNTS = (20,)
+
+#: Remediation-latency workload sizes (single-victim repair vs full
+#: barrier rebuild on an RC schedule).  Quick mode keeps one cell so CI
+#: still exercises the path and shares a comparable cell with the full
+#: baseline.
+REMEDIATION_FLOW_COUNTS = (30, 50, 70)
+QUICK_REMEDIATION_FLOW_COUNTS = (30,)
 
 
 def _workloads(flow_counts: Sequence[int], seed: int):
@@ -199,6 +208,89 @@ def check_auto(rows: Sequence[Dict],
             + "\n  ".join(violations))
 
 
+def bench_remediation(flow_counts: Sequence[int], seed: int,
+                      repetitions: int) -> List[Dict]:
+    """Remediation latency: single-victim warm-start repair vs rebuild.
+
+    For each flow count, builds the RC schedule once, picks the
+    deterministic victim link (the smallest link in any shared cell),
+    and times both remediation paths best-of-``repetitions``:
+
+    * **repair** — :func:`repro.core.repair.repair_schedule` evicting
+      the victim's blast radius and re-placing it against the warm
+      busy matrices;
+    * **rebuild** — :func:`repro.core.reschedule
+      .reschedule_without_reuse_on` re-running the full scheduler
+      under a reuse-barrier policy.
+
+    The repaired schedule is audited once per cell (outside the timed
+    runs) so a latency win can never mask a correctness loss.
+    """
+    from repro.core.ra import DEFAULT_RHO_T
+    from repro.core.repair import (ChangeSet, repair_schedule,
+                                   smallest_reused_link)
+    from repro.core.reschedule import reschedule_without_reuse_on
+    from repro.experiments.common import make_policy
+    from repro.validate.audit import audit_schedule
+
+    network, workloads = _workloads(flow_counts, seed)
+    rows: List[Dict] = []
+    for num_flows, flow_set in workloads:
+        baseline = schedule_workload(network, flow_set, "RC")
+        row: Dict = {"num_flows": num_flows, "policy": "RC",
+                     "rho_t": DEFAULT_RHO_T}
+        if not baseline.schedulable:
+            row["skipped"] = "baseline workload unschedulable"
+            rows.append(row)
+            continue
+        victim = smallest_reused_link(baseline.schedule)
+        if victim is None:
+            row["skipped"] = "no reused cells to repair"
+            rows.append(row)
+            continue
+        row["victim"] = list(victim)
+        change = ChangeSet(victims=(victim,))
+
+        repair_s = float("inf")
+        outcome = None
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            outcome = repair_schedule(
+                baseline.schedule, flow_set, network.reuse, change,
+                rho_t=DEFAULT_RHO_T, policy_name="RC")
+            repair_s = min(repair_s, time.perf_counter() - start)
+
+        rebuild_s = float("inf")
+        for _ in range(repetitions):
+            start = time.perf_counter()
+            rebuilt = reschedule_without_reuse_on(
+                flow_set, network.topology.num_nodes,
+                network.num_channels, network.reuse,
+                make_policy("RC", DEFAULT_RHO_T), {victim})
+            rebuild_s = min(rebuild_s, time.perf_counter() - start)
+
+        row.update({
+            "repair": {"wall_s": repair_s,
+                       "schedulable": outcome.schedulable,
+                       "evicted_cells": outcome.evicted,
+                       "blast_seeds": outcome.blast.seeds},
+            "rebuild": {"wall_s": rebuild_s,
+                        "schedulable": rebuilt.schedulable},
+            "speedup": rebuild_s / repair_s if repair_s > 0 else None,
+        })
+        if outcome.schedulable:
+            report = audit_schedule(
+                outcome.schedule, network.reuse, DEFAULT_RHO_T,
+                flow_set=flow_set, expect_complete=True,
+                barred_links={victim})
+            if not report.ok:
+                raise AssertionError(
+                    f"repaired schedule failed audit at {num_flows} "
+                    f"flows: {report.summary()}")
+        rows.append(row)
+    return rows
+
+
 def bench_sweep_workers(seed: int, quick: bool,
                         worker_counts: Sequence[int] = (1, 4)) -> Dict:
     """Time one small sweep at several worker counts; verify invariance."""
@@ -273,6 +365,9 @@ def run_bench(out: str = DEFAULT_OUT, *, quick: bool = False,
             flow_counts, seed, repetitions,
             auto_tolerance=(QUICK_AUTO_TOLERANCE if quick
                             else AUTO_TOLERANCE)),
+        "remediation": bench_remediation(
+            QUICK_REMEDIATION_FLOW_COUNTS if quick
+            else REMEDIATION_FLOW_COUNTS, seed, repetitions),
         "sweep_workers": bench_sweep_workers(seed, quick),
     }
     speedups = {(row["num_flows"], row["policy"]): row["speedup"]
@@ -281,12 +376,18 @@ def run_bench(out: str = DEFAULT_OUT, *, quick: bool = False,
                    if policy == "RC" and v is not None]
     auto_vs_best = [row["auto_vs_best"] for row in report["schedulers"]
                     if row.get("auto_vs_best") is not None]
+    repair_speedups = {str(row["num_flows"]): row["speedup"]
+                       for row in report["remediation"]
+                       if row.get("speedup") is not None}
     report["headline"] = {
         "rc_max_speedup": max(rc_speedups) if rc_speedups else None,
         "rc_speedups_by_flows": {
             str(flows): v for (flows, policy), v in sorted(speedups.items())
             if policy == "RC"},
         "auto_min_vs_best": min(auto_vs_best) if auto_vs_best else None,
+        "repair_speedups_by_flows": repair_speedups,
+        "repair_max_speedup": (max(repair_speedups.values())
+                               if repair_speedups else None),
     }
     if out != "-":
         with open(out, "w", encoding="utf-8") as handle:
@@ -336,6 +437,15 @@ def append_history(report: Dict, path: str = DEFAULT_HISTORY) -> Dict:
         "cells": [_history_cell(row) for row in report["schedulers"]],
         "headline": report["headline"],
     }
+    remediation = [
+        {"num_flows": row["num_flows"],
+         "repair_s": row["repair"]["wall_s"],
+         "rebuild_s": row["rebuild"]["wall_s"],
+         "evicted_cells": row["repair"]["evicted_cells"],
+         "speedup": row["speedup"]}
+        for row in report.get("remediation", []) if "repair" in row]
+    if remediation:
+        record["remediation"] = remediation
     append_jsonl([record], path)
     return record
 
@@ -363,6 +473,12 @@ def compare_bench(report: Dict, baseline: Dict,
                 timing = row.get(kernel)
                 if timing and timing.get("wall_s") is not None:
                     out[(row["num_flows"], row["policy"], kernel)] = \
+                        timing["wall_s"]
+        for row in rep.get("remediation", []):
+            for path in ("repair", "rebuild"):
+                timing = row.get(path)
+                if timing and timing.get("wall_s") is not None:
+                    out[(row["num_flows"], "remediation", path)] = \
                         timing["wall_s"]
         return out
 
@@ -409,6 +525,19 @@ def format_bench(report: Dict) -> str:
             f"{auto_text} "
             f"{row['speedup']:>7.2f}x {scalar['placements']:>11} "
             f"{scanned:>10.2f}")
+    remediation = [row for row in report.get("remediation", [])
+                   if "repair" in row]
+    if remediation:
+        lines.append(f"{'flows':>6} {'victim':>9} {'evicted':>8} "
+                     f"{'repair':>10} {'rebuild':>10} {'speedup':>8}")
+        for row in remediation:
+            lines.append(
+                f"{row['num_flows']:>6} "
+                f"{'-'.join(map(str, row['victim'])):>9} "
+                f"{row['repair']['evicted_cells']:>8} "
+                f"{1000 * row['repair']['wall_s']:>8.1f}ms "
+                f"{1000 * row['rebuild']['wall_s']:>8.1f}ms "
+                f"{row['speedup']:>7.2f}x")
     sweep = report["sweep_workers"]
     walls = "  ".join(f"workers={w}: {t:.2f}s"
                       for w, t in sweep["wall_s_by_workers"].items())
@@ -423,4 +552,8 @@ def format_bench(report: Dict) -> str:
         lines.append(f"headline: auto kernel within "
                      f"{max(0.0, 1.0 - headline['auto_min_vs_best']):.0%} "
                      f"of the best fixed kernel in every cell")
+    if headline.get("repair_max_speedup") is not None:
+        lines.append(f"headline: single-victim repair up to "
+                     f"{headline['repair_max_speedup']:.1f}x faster than "
+                     f"the full rebuild")
     return "\n".join(lines)

@@ -177,6 +177,24 @@ class _LinkDistanceState:
         # Keyed vectors are count-length; adding a lane invalidates.
         self.candidates: dict = {}
 
+    def clone(self) -> "_LinkDistanceState":
+        """An independent copy for :meth:`repro.core.schedule.Schedule
+        .clone`: lane arrays are copied, the graph and its hop matrix
+        (both read-only) are shared."""
+        dup = _LinkDistanceState.__new__(_LinkDistanceState)
+        dup.graph = self.graph
+        dup.hops = self.hops
+        dup.index = dict(self.index)
+        dup.senders = self.senders.copy()
+        dup.receivers = self.receivers.copy()
+        dup.dist = self.dist.copy()
+        dup.best = self.best.copy()
+        dup.count = self.count
+        # Cached candidate vectors are never mutated in place, so the
+        # clone may keep serving them.
+        dup.candidates = dict(self.candidates)
+        return dup
+
     def _grow(self, needed: int) -> None:
         lanes = max(needed, 2 * self.dist.shape[2])
         for name in ("senders", "receivers"):

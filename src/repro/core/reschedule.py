@@ -61,6 +61,10 @@ class ReuseBarrierPolicy:
             expanded.add((v, u))
         self.victim_links = expanded
         self.name = f"{self.inner.name}+barrier"
+        # The crossover-aware auto kernel resolves on the *inner*
+        # policy's behavior — the barrier only redirects victims to
+        # exclusive cells, which neither kernel accelerates.
+        self.kernel_policy_name = self.inner.name
 
     def start_flow(self, flow: Flow) -> None:
         """Forward the flow hook to the inner policy."""
@@ -103,8 +107,10 @@ def reschedule_without_reuse_on(flow_set: FlowSet, num_nodes: int,
                                 policy: PlacementPolicy,
                                 victim_links: Iterable[Link],
                                 attempts_per_link: int = 2,
+                                mode: str = "rebuild",
+                                schedule: Optional[Schedule] = None,
                                 ) -> SchedulingResult:
-    """Rebuild a schedule with victim links barred from channel reuse.
+    """Re-schedule with victim links barred from channel reuse.
 
     Args:
         flow_set: The routed, priority-ordered flows (same input as the
@@ -116,6 +122,14 @@ def reschedule_without_reuse_on(flow_set: FlowSet, num_nodes: int,
         victim_links: Links the detection policy flagged as
             reuse-degraded (direction-insensitive).
         attempts_per_link: Source-routing attempt count.
+        mode: ``"rebuild"`` re-runs the scheduler from scratch under a
+            :class:`ReuseBarrierPolicy`; ``"repair"`` warm-starts from
+            the running ``schedule`` via :mod:`repro.core.repair` —
+            evicting only the victims' blast radius and re-placing it —
+            and falls back to the full rebuild when repair cannot place
+            every evicted transmission.
+        schedule: The running schedule ``mode="repair"`` starts from
+            (never mutated).
 
     Returns:
         The new scheduling result.  The workload may become
@@ -123,8 +137,26 @@ def reschedule_without_reuse_on(flow_set: FlowSet, num_nodes: int,
         the operator's signal that more channels (or a looser ρ_t) are
         needed.
     """
-    barrier = ReuseBarrierPolicy(inner=policy,
-                                 victim_links=set(victim_links))
+    if mode not in ("rebuild", "repair"):
+        raise ValueError(f"unknown mode: {mode!r}")
+    victims = set(victim_links)
+    if mode == "repair":
+        if schedule is None:
+            raise ValueError("mode='repair' needs the running schedule")
+        from repro.core.repair import ChangeSet, repair_schedule
+
+        outcome = repair_schedule(
+            schedule, flow_set, reuse_graph,
+            ChangeSet(victims=tuple(sorted(victims))),
+            rho_t=getattr(policy, "rho_t", NO_REUSE),
+            policy_name=policy.name, attempts_per_link=attempts_per_link)
+        if outcome.schedulable:
+            return SchedulingResult(
+                schedulable=True, schedule=outcome.schedule,
+                flow_set=flow_set, policy_name=f"{policy.name}+repair",
+                elapsed_s=outcome.elapsed_s)
+        # Repair failed placement: fall back to the full rebuild below.
+    barrier = ReuseBarrierPolicy(inner=policy, victim_links=victims)
     scheduler = FixedPriorityScheduler(
         num_nodes=num_nodes, num_offsets=num_offsets,
         reuse_graph=reuse_graph, policy=barrier,

@@ -18,10 +18,11 @@ their hot paths:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 import numpy as np
 
+from repro.core.kernel import INFINITE_DISTANCE
 from repro.core.transmissions import TransmissionRequest
 
 
@@ -134,6 +135,131 @@ class Schedule:
             self._update_link_distances(request.sender, request.receiver,
                                         slot, offset)
         return entry
+
+    def clone(self) -> "Schedule":
+        """An independent deep copy sharing only immutable pieces.
+
+        Entries are frozen dataclasses and safe to share; every mutable
+        bookkeeping structure — busy matrix, cell/slot index maps,
+        used-offset masks, occupancy planes, and the kernel's
+        incremental distance stacks — is copied so mutations of the
+        clone (``add``/``evict``) never leak into the original.  The
+        incremental repair path (:mod:`repro.core.repair`) edits a clone
+        so the manager's rollback can keep serving the old schedule.
+        """
+        dup = Schedule.__new__(Schedule)
+        dup.num_nodes = self.num_nodes
+        dup.num_slots = self.num_slots
+        dup.num_offsets = self.num_offsets
+        dup._entries = list(self._entries)
+        dup._busy = self._busy.copy()
+        dup._cells = {cell: list(ix) for cell, ix in self._cells.items()}
+        dup._used_mask = self._used_mask.copy()
+        dup._slot_entries = {slot: list(ix)
+                             for slot, ix in self._slot_entries.items()}
+        dup._occ_count = self._occ_count.copy()
+        dup._occ_senders = self._occ_senders.copy()
+        dup._occ_receivers = self._occ_receivers.copy()
+        dup._link_state = (None if self._link_state is None
+                           else self._link_state.clone())
+        return dup
+
+    def evict(self, indices: Iterable[int]) -> List[ScheduledTransmission]:
+        """Remove entries by index, rolling back all bookkeeping.
+
+        The inverse of :meth:`add` for a batch of entries: the busy
+        matrix, cell and slot index maps, used-offset masks, occupancy
+        planes, and the kernel's incremental distance stacks are all
+        restored to exactly the state a fresh schedule containing only
+        the surviving entries would have (the auditor's bookkeeping
+        checks cross-verify this).  Surviving entries keep their
+        relative placement order but are re-indexed, so previously held
+        entry indices are invalid after eviction.
+
+        Args:
+            indices: Positions into :attr:`entries` to remove.
+
+        Returns:
+            The evicted transmissions, in index order.
+
+        Raises:
+            IndexError: When an index is out of range.
+        """
+        doomed = sorted({int(i) for i in indices})
+        if not doomed:
+            return []
+        if doomed[0] < 0 or doomed[-1] >= len(self._entries):
+            raise IndexError(
+                f"evict index out of range [0, {len(self._entries)})")
+        doomed_set = set(doomed)
+        evicted = [self._entries[i] for i in doomed]
+        affected_cells = {(e.slot, e.offset) for e in evicted}
+        affected_slots = {e.slot for e in evicted}
+        self._entries = [entry for i, entry in enumerate(self._entries)
+                         if i not in doomed_set]
+        # Survivor indices shifted: rebuild both index maps in one pass
+        # (linear in schedule size, far below placement cost).
+        cells: Dict[Tuple[int, int], List[int]] = {}
+        slot_entries: Dict[int, List[int]] = {}
+        for i, entry in enumerate(self._entries):
+            cells.setdefault((entry.slot, entry.offset), []).append(i)
+            slot_entries.setdefault(entry.slot, []).append(i)
+        self._cells = cells
+        self._slot_entries = slot_entries
+        # Busy columns and used-offset masks of the touched slots are
+        # recomputed from the survivors rather than unset bit-by-bit:
+        # force_add permits node collisions, so a bit may be owed to
+        # more than one entry.
+        for slot in affected_slots:
+            self._busy[:, slot] = False
+            mask = 0
+            for i in slot_entries.get(slot, ()):
+                entry = self._entries[i]
+                self._busy[entry.request.sender, slot] = True
+                self._busy[entry.request.receiver, slot] = True
+                mask |= (1 << entry.offset)
+            self._used_mask[slot] = mask
+        # Occupancy lanes of the touched cells: rewrite live lanes from
+        # the survivors and zero the tail so stale node indices never
+        # linger past the count.
+        for slot, offset in affected_cells:
+            survivors = cells.get((slot, offset), ())
+            for lane, i in enumerate(survivors):
+                entry = self._entries[i]
+                self._occ_senders[slot, offset, lane] = entry.request.sender
+                self._occ_receivers[slot, offset, lane] = entry.request.receiver
+            count = len(survivors)
+            self._occ_count[slot, offset] = count
+            self._occ_senders[slot, offset, count:] = 0
+            self._occ_receivers[slot, offset, count:] = 0
+        if self._link_state is not None:
+            self._refresh_link_distances(affected_cells, affected_slots)
+        return evicted
+
+    def _refresh_link_distances(self, cells: Iterable[Tuple[int, int]],
+                                slots: Iterable[int]) -> None:
+        """Recompute the kernel's distance rows for the given cells.
+
+        ``add`` only ever *lowers* distances (one vectorized minimum per
+        occupant), so removing an occupant needs a from-scratch minimum
+        over each touched cell's survivors, then a per-slot ``best``
+        refresh.
+        """
+        state = self._link_state
+        n = state.count
+        if not n:
+            return
+        for slot, offset in cells:
+            row = state.dist[slot, offset, :n]
+            row[:] = INFINITE_DISTANCE
+            for i in self._cells.get((slot, offset), ()):
+                request = self._entries[i].request
+                np.minimum(row,
+                           state.occupant_candidates(request.sender,
+                                                     request.receiver),
+                           out=row)
+        for slot in slots:
+            state.dist[slot, :, :n].max(axis=0, out=state.best[slot, :n])
 
     def _update_link_distances(self, x: int, y: int, slot: int,
                                offset: int) -> None:

@@ -387,7 +387,12 @@ class FixedPriorityScheduler:
             (hyperperiod // flow.period_slots) * len(flow.links)
             * self.attempts_per_link
             for flow in flow_set)
-        return _kernel.resolve_kernel(self.policy.name, num_requests)
+        # Wrapper policies (e.g. the reuse barrier) advertise the name
+        # the crossover calibration applies to; bare policies are their
+        # own answer.
+        policy_name = getattr(self.policy, "kernel_policy_name",
+                              self.policy.name)
+        return _kernel.resolve_kernel(policy_name, num_requests)
 
     def _finish(self, schedulable: bool, schedule: Schedule,
                 flow_set: FlowSet, start_time: float, recorder, baseline,

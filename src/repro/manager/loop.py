@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 import numpy as np
 
 from repro.core.ra import DEFAULT_RHO_T
+from repro.core.repair import ChangeSet, ChannelChange, repair_schedule
 from repro.core.reschedule import reschedule_without_reuse_on
 from repro.core.schedule import Schedule
 from repro.detection.classifier import (
@@ -91,6 +92,12 @@ class ManagerConfig:
         warmup_epochs / confirm_epochs / cooldown_epochs: Streaming
             monitor hysteresis (see
             :class:`~repro.detection.health.StreamingHealthMonitor`).
+        repair: Remediate by incremental repair
+            (:mod:`repro.core.repair`) — evicting only the change's
+            blast radius and re-placing it against the surviving
+            schedule — with automatic fallback to the full rebuild when
+            repair fails placement or its result fails the audit.
+            ``False`` always rebuilds from scratch.
         slo: Per-flow objective and burn-rate windows
             (:class:`~repro.obs.slo.SloConfig`); every epoch the
             manager feeds the simulator's per-flow tallies to an
@@ -116,6 +123,7 @@ class ManagerConfig:
     confirm_epochs: int = 2
     cooldown_epochs: int = 1
     suspect_prr: float = 0.7
+    repair: bool = True
     slo: SloConfig = SloConfig()
     series_prefix: str = ""
 
@@ -154,6 +162,12 @@ class EpochOutcome:
             True when no rebuild was attempted; False means the policy
             produced a schedule that violated the paper's correctness
             contract and the manager rolled it back.
+        repair_mode: How this epoch's accepted schedule was produced —
+            ``"repair"`` (incremental, :mod:`repro.core.repair`),
+            ``"rebuild"`` (full re-schedule, including the fallback
+            path), or ``None`` when no action was applied.
+        evicted_cells: Cells the incremental repair evicted and
+            re-placed (0 outside ``repair_mode == "repair"``).
         slo_alerts / slo_warns: Flow ids whose SLO burn-rate state is
             ``alert`` / ``warn`` after this epoch.
     """
@@ -174,6 +188,8 @@ class EpochOutcome:
     num_channels: int
     rho_t: int
     audit_ok: bool = True
+    repair_mode: Optional[str] = None
+    evicted_cells: int = 0
     slo_alerts: Tuple[int, ...] = ()
     slo_warns: Tuple[int, ...] = ()
 
@@ -196,6 +212,8 @@ class EpochOutcome:
             "num_channels": self.num_channels,
             "rho_t": self.rho_t,
             "audit_ok": self.audit_ok,
+            "repair_mode": self.repair_mode,
+            "evicted_cells": self.evicted_cells,
             "slo_alerts": list(self.slo_alerts),
             "slo_warns": list(self.slo_warns),
         }
@@ -324,9 +342,8 @@ class NetworkManager:
         rebuilt = self._rebuild(network, flow_set, rho_t, barred)
         if rebuilt is None:
             return None, True
-        rho_floor = (math.inf if self.config.scheduler_policy == "NR"
-                     else rho_t)
-        audit = audit_schedule(rebuilt, network.reuse, rho_floor,
+        audit = audit_schedule(rebuilt, network.reuse,
+                               self._rho_floor(rho_t),
                                flow_set=flow_set, barred_links=barred)
         if not audit.ok:
             if _obs.ENABLED:
@@ -336,6 +353,65 @@ class NetworkManager:
                     violations=[v.to_dict() for v in audit.violations[:20]])
             return None, False
         return rebuilt, True
+
+    def _rho_floor(self, rho_t: int) -> float:
+        """The audit floor: NR never shares, RA / RC promise ρ_t."""
+        return (math.inf if self.config.scheduler_policy == "NR"
+                else rho_t)
+
+    def _audited_repair(self, network: PreparedNetwork, flow_set: FlowSet,
+                        schedule: Schedule, rho_t: int, barred: Set[Link],
+                        change: ChangeSet,
+                        ) -> Tuple[Optional[Schedule], int]:
+        """Incremental repair plus the same independent audit a rebuild
+        gets; ``(None, evicted)`` when repair failed placement or the
+        auditor rejected it (the caller falls back to the full rebuild).
+        """
+        outcome = repair_schedule(
+            schedule, flow_set, network.reuse, change, rho_t=rho_t,
+            barred=barred, policy_name=self.config.scheduler_policy)
+        if not outcome.schedulable:
+            if _obs.ENABLED:
+                _obs.RECORDER.count("manager.repair_fallbacks")
+                _obs.RECORDER.event(
+                    "manager_repair_fallback", reason="placement",
+                    failed=outcome.failed_request, evicted=outcome.evicted)
+            return None, outcome.evicted
+        graph = (change.channel.reuse_graph if change.channel is not None
+                 else network.reuse)
+        audit = audit_schedule(outcome.schedule, graph,
+                               self._rho_floor(rho_t), flow_set=flow_set,
+                               barred_links=barred)
+        if not audit.ok:
+            if _obs.ENABLED:
+                _obs.RECORDER.count("manager.repair_fallbacks")
+                _obs.RECORDER.event(
+                    "manager_repair_fallback", reason="audit",
+                    violations=[v.to_dict()
+                                for v in audit.violations[:20]])
+            return None, outcome.evicted
+        return outcome.schedule, outcome.evicted
+
+    def _audited_remediate(self, network: PreparedNetwork,
+                           flow_set: FlowSet, schedule: Schedule,
+                           rho_t: int, barred: Set[Link], change: ChangeSet,
+                           ) -> Tuple[Optional[Schedule], bool,
+                                      Optional[str], int]:
+        """Repair first (when enabled), audited rebuild as the fallback.
+
+        Returns ``(schedule, audit_ok, repair_mode, evicted_cells)``;
+        the schedule is ``None`` when neither path produced an
+        acceptable schedule (the caller rolls back).
+        """
+        if self.config.repair:
+            repaired, evicted = self._audited_repair(
+                network, flow_set, schedule, rho_t, barred, change)
+            if repaired is not None:
+                return repaired, True, "repair", evicted
+        rebuilt, audit_ok = self._audited_rebuild(network, flow_set,
+                                                  rho_t, barred)
+        mode = "rebuild" if rebuilt is not None else None
+        return rebuilt, audit_ok, mode, 0
 
     # ------------------------------------------------------------------
     # The loop
@@ -404,6 +480,8 @@ class NetworkManager:
             action = self.policy.decide(observation)
             applied = False
             audit_ok = True
+            repair_mode: Optional[str] = None
+            evicted_cells = 0
             prov = _obs.RECORDER.provenance if _obs.ENABLED else None
             prov_range = None
             if action is not None:
@@ -411,7 +489,8 @@ class NetworkManager:
                 # recorder's decision counter: [first, last) cites the
                 # exact placement decisions this epoch's action produced.
                 first_decision = prov.next_id() if prov is not None else 0
-                applied, network, schedule, rho_t, audit_ok = self._apply(
+                (applied, network, schedule, rho_t, audit_ok, repair_mode,
+                 evicted_cells) = self._apply(
                     action, network, flow_set, schedule, rho_t, barred)
                 if prov is not None and prov.next_id() > first_decision:
                     prov_range = [first_decision, prov.next_id()]
@@ -435,6 +514,7 @@ class NetworkManager:
                 action_applied=applied,
                 num_channels=network.num_channels, rho_t=rho_t,
                 audit_ok=audit_ok,
+                repair_mode=repair_mode, evicted_cells=evicted_cells,
                 slo_alerts=slo_alerts, slo_warns=slo_warns)
             report.epochs.append(outcome)
 
@@ -454,6 +534,7 @@ class NetworkManager:
                     action=outcome.action, action_applied=applied,
                     action_reason=outcome.action_reason,
                     audit_ok=audit_ok,
+                    repair_mode=repair_mode, evicted_cells=evicted_cells,
                     slo_alerts=len(slo_alerts), slo_warns=len(slo_warns))
                 self._record_epoch_series(epoch, outcome, stats, monitor,
                                           applied)
@@ -519,48 +600,60 @@ class NetworkManager:
     def _apply(self, action: Action, network: PreparedNetwork,
                flow_set: FlowSet, schedule: Schedule, rho_t: int,
                barred: Set[Link],
-               ) -> Tuple[bool, PreparedNetwork, Schedule, int, bool]:
+               ) -> Tuple[bool, PreparedNetwork, Schedule, int, bool,
+                          Optional[str], int]:
         """Apply one action; on failure every state change is rolled back.
 
         ``barred`` is mutated in place (the accumulated no-reuse set);
         network / schedule / rho_t are returned, plus whether the
-        rebuild (if one was produced) passed the schedule audit.
+        remediated schedule (if one was produced) passed the schedule
+        audit, how it was produced (``"repair"`` / ``"rebuild"`` /
+        ``None``), and how many cells the repair evicted.
         """
         if action.kind == "reschedule":
             added = set(action.victims) - barred
             barred |= added
-            rebuilt, audit_ok = self._audited_rebuild(
-                network, flow_set, rho_t, barred)
-            if rebuilt is None:
+            change = ChangeSet(victims=tuple(sorted(added)))
+            new, audit_ok, mode, evicted = self._audited_remediate(
+                network, flow_set, schedule, rho_t, barred, change)
+            if new is None:
                 barred -= added
-                return False, network, schedule, rho_t, audit_ok
-            return True, network, rebuilt, rho_t, audit_ok
+                return False, network, schedule, rho_t, audit_ok, None, 0
+            return True, network, new, rho_t, audit_ok, mode, evicted
 
         if action.kind == "blacklist":
             remaining = tuple(ch for ch in network.topology.channel_map
                               if ch != action.channel)
             if not remaining:
-                return False, network, schedule, rho_t, True
+                return False, network, schedule, rho_t, True, None, 0
             # Keep the original routes (the flow set is already routed)
-            # and rebuild on the reduced hopping set.  The reuse graph is
-            # re-derived from the restricted topology; route quality is
-            # re-assessed only at the next full (re)provisioning — the
-            # standard WirelessHART split between the fast blacklist
+            # and remediate on the reduced hopping set.  The reuse graph
+            # is re-derived from the restricted topology; route quality
+            # is re-assessed only at the next full (re)provisioning —
+            # the standard WirelessHART split between the fast blacklist
             # path and slow route maintenance.
             new_network = prepare_network(self.topology, channels=remaining)
-            rebuilt, audit_ok = self._audited_rebuild(
-                new_network, flow_set, rho_t, barred)
-            if rebuilt is None:
-                return False, network, schedule, rho_t, audit_ok
-            return True, new_network, rebuilt, rho_t, audit_ok
+            new_map = tuple(new_network.topology.channel_map)
+            change = ChangeSet(channel=ChannelChange(
+                reuse_graph=new_network.reuse,
+                num_offsets=new_network.num_channels,
+                offset_map=tuple(
+                    new_map.index(ch) if ch in new_map else None
+                    for ch in network.topology.channel_map)))
+            new, audit_ok, mode, evicted = self._audited_remediate(
+                new_network, flow_set, schedule, rho_t, barred, change)
+            if new is None:
+                return False, network, schedule, rho_t, audit_ok, None, 0
+            return True, new_network, new, rho_t, audit_ok, mode, evicted
 
         if action.kind == "escalate_rho":
             new_rho = action.rho_t if action.rho_t is not None else rho_t
-            rebuilt, audit_ok = self._audited_rebuild(
-                network, flow_set, new_rho, barred)
-            if rebuilt is None:
-                return False, network, schedule, rho_t, audit_ok
-            return True, network, rebuilt, new_rho, audit_ok
+            change = ChangeSet(rho_t=new_rho)
+            new, audit_ok, mode, evicted = self._audited_remediate(
+                network, flow_set, schedule, new_rho, barred, change)
+            if new is None:
+                return False, network, schedule, rho_t, audit_ok, None, 0
+            return True, network, new, new_rho, audit_ok, mode, evicted
 
         raise ValueError(f"unknown action kind: {action.kind!r}")
 

@@ -174,16 +174,48 @@ def format_decision(record: Dict) -> List[str]:
     return lines
 
 
+def format_blast(record: Dict,
+                 evicted: Optional[List[Dict]] = None) -> List[str]:
+    """Printable lines for one recorded repair blast radius.
+
+    ``evicted`` restricts the per-cell lines to a subset (e.g. the
+    evictions touching one link); the header always reports the full
+    blast size so a filtered view still shows the repair's true scope.
+    """
+    full = record.get("evicted", [])
+    items = full if evicted is None else evicted
+    lines = [f"blast #{record['id']} [{record.get('change', '?')}]: "
+             f"{len(full)} cell(s) evicted for repair"]
+    for item in items:
+        lines.append(
+            f"  evicted slot {item['slot']} offset {item['offset']}: "
+            f"flow {item['flow']} instance {item['instance']} "
+            f"hop {item['hop']} attempt {item['attempt']} "
+            f"{item['sender']}->{item['receiver']} ({item['reason']})")
+    return lines
+
+
 def explain_from_provenance(records: List[Dict], sender: int,
                             receiver: int,
                             slot: Optional[int] = None) -> List[str]:
     """Recorded decisions for a link (optionally only those naming a slot).
 
     ``slot`` filters to decisions whose final placement or probe results
-    touch that slot.
+    touch that slot.  Repair blast records are included when they evict
+    a transmission of the link (at the slot, when given) — the eviction
+    explains why a later ``+repair`` decision re-placed the hop.
     """
     lines: List[str] = []
     for record in records:
+        if record.get("kind") == "blast":
+            matching = [
+                item for item in record.get("evicted", [])
+                if (item.get("sender"), item.get("receiver"))
+                == (sender, receiver)
+                and (slot is None or item.get("slot") == slot)]
+            if matching:
+                lines.extend(format_blast(record, matching))
+            continue
         if record.get("kind") != "decision":
             continue
         if (record.get("sender"), record.get("receiver")) != (sender,

@@ -300,6 +300,28 @@ class ProvenanceRecorder:
         record["descent"].append({
             "from": _jsonable_rho(from_rho), "to": _jsonable_rho(to_rho)})
 
+    # -- repair hooks ---------------------------------------------------
+
+    def record_blast(self, change: str, evicted: List[Dict]) -> int:
+        """Record one repair's blast radius: the change summary and the
+        evicted cells with their per-cell evict reasons (see
+        :mod:`repro.core.repair`).  The record shares the decision id
+        space, so a repair's eviction and its re-placement decisions
+        stay adjacent and citable as one ``[first, last)`` range.
+        """
+        record: Dict = {
+            "kind": "blast",
+            "id": self._next_id,
+            "change": change,
+            "count": len(evicted),
+            "evicted": [dict(cell) for cell in evicted],
+        }
+        self._next_id += 1
+        if len(self._decisions) == self._decisions.maxlen:
+            self.dropped += 1
+        self._decisions.append(record)
+        return record["id"]
+
     # -- reads / export -------------------------------------------------
 
     def decisions(self) -> List[Dict]:
@@ -321,7 +343,7 @@ class ProvenanceRecorder:
         in decision order — the flow's laxity timeline."""
         timeline: List[Dict] = []
         for record in self._decisions:
-            if record["flow"] != flow_id:
+            if record.get("kind") != "decision" or record["flow"] != flow_id:
                 continue
             for entry in record["laxity"]:
                 timeline.append({
@@ -333,7 +355,8 @@ class ProvenanceRecorder:
     def decisions_for_link(self, sender: int, receiver: int) -> List[Dict]:
         """Retained decisions placing (or failing to place) one link."""
         return [record for record in self._decisions
-                if record["sender"] == sender
+                if record.get("kind") == "decision"
+                and record["sender"] == sender
                 and record["receiver"] == receiver]
 
     def export_jsonl(self, path) -> int:

@@ -21,6 +21,16 @@ and, for each case:
 * asserts **bit-identical provenance streams** between the scalar and
   vector kernels for NR / RA / RC, and that recording provenance does
   not perturb the schedule itself;
+* differentially exercises the **incremental repair scheduler**
+  (:mod:`repro.core.repair`) on a schedulable result: a deterministic
+  victim link is evicted and re-placed via warm-start repair under both
+  the scalar and vector kernels (bit-identical repaired schedules
+  required), a successful repair must pass the full auditor with the
+  victim barred from reuse, the input schedule must come back
+  untouched, and a ρ-escalation repair must audit clean at the raised
+  floor; when repair fails placement, the designed fallback — the full
+  barrier rebuild — is run and its product audited instead, so a
+  placement failure can never silently escape correctness coverage;
 * cross-checks simulator invariants on a schedulable result:
   deliveries never exceed releases per flow, the observability counters
   ``sim.attempts`` / ``sim.successes`` / ``sim.deliveries`` equal the
@@ -197,6 +207,15 @@ def _build_case(params: Dict
     return network, environment, flow_set
 
 
+def _entries_signature(schedule) -> Tuple:
+    """The exact placement sequence of a schedule, bit for bit."""
+    return tuple((entry.request.flow_id, entry.request.instance,
+                  entry.request.hop_index, entry.request.attempt,
+                  entry.request.sender, entry.request.receiver,
+                  entry.slot, entry.offset)
+                 for entry in schedule.entries)
+
+
 def _schedule_signature(result: SchedulingResult) -> Tuple:
     """Everything two equivalent scheduling runs must agree on, bit for
     bit: outcome, failure point, and the exact placement sequence."""
@@ -204,11 +223,7 @@ def _schedule_signature(result: SchedulingResult) -> Tuple:
         result.schedulable,
         result.failed_flow,
         result.failed_instance,
-        tuple((entry.request.flow_id, entry.request.instance,
-               entry.request.hop_index, entry.request.attempt,
-               entry.request.sender, entry.request.receiver,
-               entry.slot, entry.offset)
-              for entry in result.schedule.entries),
+        _entries_signature(result.schedule),
     )
 
 
@@ -457,6 +472,92 @@ def _check_simulator(case: FuzzCaseResult, network: PreparedNetwork,
                           f"stats total is {expected}")
 
 
+def _audit_repaired(case: FuzzCaseResult, check: str, label: str,
+                    network: PreparedNetwork, flow_set: FlowSet,
+                    schedule, rho_floor: float, barred) -> None:
+    """Full audit of a repaired (or fallback-rebuilt) schedule."""
+    report = audit_schedule(schedule, network.reuse, rho_floor,
+                            flow_set=flow_set, expect_complete=True,
+                            barred_links=barred)
+    if not report.ok:
+        case.fail(check, f"{label}: {report.summary()}",
+                  audit=report.to_dict())
+
+
+def _check_repair(case: FuzzCaseResult, network: PreparedNetwork,
+                  flow_set: FlowSet, rho_t: int,
+                  result: SchedulingResult) -> None:
+    """Repair-vs-rebuild differential on one schedulable result.
+
+    Evicts a deterministic victim link via warm-start repair under both
+    kernels (bit-identical products required), audits a successful
+    repair with the victim barred, runs + audits the designed fallback
+    (full barrier rebuild) when repair fails placement, checks the
+    input schedule is never mutated, and repeats the audit for a
+    ρ-escalation repair at the raised floor.
+    """
+    from repro.core.repair import (ChangeSet, repair_schedule,
+                                   smallest_reused_link)
+    from repro.core.reschedule import reschedule_without_reuse_on
+
+    schedule = result.schedule
+    policy_name = result.policy_name
+    rho_floor = math.inf if policy_name == "NR" else rho_t
+    before = _entries_signature(schedule)
+
+    victim = smallest_reused_link(schedule)
+    if victim is not None:
+        change = ChangeSet(victims=(victim,))
+        products = {}
+        for mode in (_kernel.KERNEL_SCALAR, _kernel.KERNEL_VECTOR):
+            with _kernel.kernel_mode(mode):
+                products[mode] = repair_schedule(
+                    schedule, flow_set, network.reuse, change,
+                    rho_t=rho_t, policy_name=policy_name)
+        scalar = products[_kernel.KERNEL_SCALAR]
+        vector = products[_kernel.KERNEL_VECTOR]
+        if (scalar.schedulable != vector.schedulable or
+                _entries_signature(scalar.schedule) !=
+                _entries_signature(vector.schedule)):
+            case.fail("repair_kernel_equivalence",
+                      f"{policy_name}: scalar and vector kernels produced "
+                      f"different repaired schedules")
+        if vector.schedulable:
+            _audit_repaired(case, "repair_audit",
+                            f"{policy_name}/victim {victim}", network,
+                            flow_set, vector.schedule, rho_floor, {victim})
+        else:
+            # The designed fallback: repair could not re-place the blast
+            # radius, so the manager rebuilds under a barrier policy.
+            # Exercise it here so a placement failure never drops the
+            # case out of correctness coverage.
+            rebuilt = reschedule_without_reuse_on(
+                flow_set, network.topology.num_nodes,
+                network.num_channels, network.reuse,
+                make_policy(policy_name, rho_t), {victim})
+            if rebuilt.schedulable:
+                _audit_repaired(case, "repair_fallback_audit",
+                                f"{policy_name}/victim {victim} fallback",
+                                network, flow_set, rebuilt.schedule,
+                                rho_floor, {victim})
+
+    if policy_name != "NR":
+        escalated = rho_t + 1
+        outcome = repair_schedule(
+            schedule, flow_set, network.reuse,
+            ChangeSet(rho_t=escalated), rho_t=escalated,
+            policy_name=policy_name)
+        if outcome.schedulable:
+            _audit_repaired(case, "repair_audit",
+                            f"{policy_name}/rho {rho_t}->{escalated}",
+                            network, flow_set, outcome.schedule,
+                            float(escalated), ())
+
+    if _entries_signature(schedule) != before:
+        case.fail("repair_purity",
+                  f"{policy_name}: repair mutated the input schedule")
+
+
 def run_case(index: int, seed: int) -> FuzzCaseResult:
     """Execute one fuzz case (deterministic in ``(seed, index)``)."""
     case = FuzzCaseResult(index=index, seed=seed)
@@ -480,6 +581,7 @@ def run_case(index: int, seed: int) -> FuzzCaseResult:
     _check_provenance_parity(case, network, flow_set, params["rho_t"],
                              plain_signatures)
     if schedulable is not None:
+        _check_repair(case, network, flow_set, params["rho_t"], schedulable)
         _check_simulator(case, network, environment, flow_set, schedulable,
                          params["sim_seed"])
     return case

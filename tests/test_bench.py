@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import json
 
-from repro.bench import bench_schedulers, check_auto, format_bench, run_bench
+from repro.bench import (
+    bench_schedulers,
+    check_auto,
+    compare_bench,
+    format_bench,
+    run_bench,
+)
 
 
 class TestBench:
@@ -28,6 +34,16 @@ class TestBench:
             assert (row["scalar"]["slots_scanned"]
                     == row["vector"]["slots_scanned"])
 
+        remediation = report["remediation"]
+        assert len(remediation) == 1 and remediation[0]["num_flows"] == 30
+        cell = remediation[0]
+        assert cell["repair"]["schedulable"]
+        assert cell["repair"]["evicted_cells"] > 0
+        assert cell["repair"]["wall_s"] > 0
+        assert cell["rebuild"]["wall_s"] > 0
+        assert cell["speedup"] > 1.0
+        assert report["headline"]["repair_max_speedup"] == cell["speedup"]
+
         sweep = report["sweep_workers"]
         assert sweep["outcomes_identical"] is True
         assert set(sweep["wall_s_by_workers"]) == {"1", "4"}
@@ -35,6 +51,19 @@ class TestBench:
 
         text = format_bench(report)
         assert "RC" in text and "headline" in text
+        assert "repair" in text
+
+    def test_compare_gates_remediation_cells(self):
+        def fake(repair_s, rebuild_s):
+            return {"schedulers": [],
+                    "remediation": [{"num_flows": 30, "policy": "RC",
+                                     "repair": {"wall_s": repair_s},
+                                     "rebuild": {"wall_s": rebuild_s}}]}
+
+        assert compare_bench(fake(0.010, 0.130), fake(0.010, 0.130)) == []
+        regressions = compare_bench(fake(0.020, 0.130), fake(0.010, 0.130))
+        assert len(regressions) == 1
+        assert "remediation@30 [repair]" in regressions[0]
 
     def test_kernel_divergence_would_abort(self):
         """bench_schedulers compares full schedule signatures; a tiny run

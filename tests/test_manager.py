@@ -524,8 +524,11 @@ class TestRebuildAudit:
         from repro.obs.recorder import Recorder
 
         topology, environment = wustl
+        # repair=False forces every remediation through _rebuild so the
+        # corruption below reliably reaches the audit (the repair path
+        # has its own corrupt-repair test in TestRepairRemediation).
         config = ManagerConfig(scenario="reuse-storm", policy="reschedule",
-                               num_epochs=6, seed=3, **QUICK)
+                               num_epochs=6, seed=3, repair=False, **QUICK)
 
         real_rebuild = NetworkManager._rebuild
 
@@ -569,3 +572,69 @@ class TestRebuildAudit:
                                 config).run()
         assert all(o.audit_ok for o in report.epochs)
         assert any(o.action_applied for o in report.epochs)
+
+
+class TestRepairRemediation:
+    """Repair-first remediation: the incremental repair scheduler is the
+    default path, and a repair the auditor rejects (or that fails
+    placement) falls back to the audited full rebuild."""
+
+    def test_repair_is_default_remediation_path(self, wustl):
+        topology, environment = wustl
+        config = ManagerConfig(scenario="reuse-storm", policy="reschedule",
+                               num_epochs=6, seed=3, **QUICK)
+        report = NetworkManager(topology, environment, WUSTL_PLAN,
+                                config).run()
+        repaired = [o for o in report.epochs if o.repair_mode == "repair"]
+        assert repaired, "no remediation took the repair path"
+        assert all(o.audit_ok for o in report.epochs)
+        for outcome in repaired:
+            assert outcome.action_applied
+            assert outcome.evicted_cells > 0
+            as_dict = outcome.to_dict()
+            assert as_dict["repair_mode"] == "repair"
+            assert as_dict["evicted_cells"] == outcome.evicted_cells
+        idle = [o for o in report.epochs if o.action is None]
+        assert all(o.repair_mode is None and o.evicted_cells == 0
+                   for o in idle)
+
+    def test_corrupt_repair_falls_back_to_rebuild(self, wustl,
+                                                  monkeypatch):
+        from repro.manager import loop as loop_mod
+        from repro.obs import recorder as _obs
+        from repro.obs.recorder import Recorder
+
+        topology, environment = wustl
+        config = ManagerConfig(scenario="reuse-storm", policy="reschedule",
+                               num_epochs=6, seed=3, **QUICK)
+
+        real_repair = loop_mod.repair_schedule
+
+        def corrupt_repair(*args, **kwargs):
+            outcome = real_repair(*args, **kwargs)
+            if outcome.schedulable and len(outcome.schedule):
+                entry = outcome.schedule.entries[0]
+                outcome.schedule._occ_senders[entry.slot, entry.offset,
+                                              0] = (
+                    (entry.request.sender + 1)
+                    % outcome.schedule.num_nodes)
+            return outcome
+
+        monkeypatch.setattr(loop_mod, "repair_schedule", corrupt_repair)
+        with _obs.recording(Recorder()) as rec:
+            report = NetworkManager(topology, environment, WUSTL_PLAN,
+                                    config).run()
+
+        applied = [o for o in report.epochs if o.action_applied]
+        assert applied, "the storm never triggered a remediation"
+        # Every corrupt repair must be rejected by the audit and land
+        # via the rebuild instead — never as "repair", never unaudited.
+        assert all(o.repair_mode == "rebuild" for o in applied)
+        assert all(o.audit_ok for o in report.epochs)
+        assert rec.registry.counter_value("manager.repair_fallbacks") >= 1
+        fallback_events = [e for e in rec.tracer.events()
+                           if e.kind == "manager_repair_fallback"]
+        assert fallback_events
+        assert fallback_events[0].fields["reason"] == "audit"
+        assert (fallback_events[0].fields["violations"][0]["kind"]
+                == "occupancy")
