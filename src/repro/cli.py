@@ -20,7 +20,13 @@ a shell without writing Python:
 * ``metrics`` — export a snapshot (+ time series) as OpenMetrics text,
   or strictly validate an exposition file;
 * ``top`` — live ASCII observatory over a run's time-series dump
-  (``--once`` for CI/pipes).
+  (``--once`` for CI/pipes);
+* ``serve`` — long-lived scheduling service: NDJSON requests over a
+  unix socket or TCP, sharded worker processes, compiled-artifact
+  cache (see ``repro.service``);
+* ``loadgen`` — seeded mixed workload + latency report against a
+  running ``serve`` (``--verify`` proves responses bit-identical to
+  direct library calls).
 
 Experiment commands accept ``--workers N`` to fan independent trials
 over N worker processes (0 = all CPUs) with results identical to a
@@ -389,6 +395,15 @@ def cmd_ledger(args: argparse.Namespace) -> int:
         print(f"warning: skipped {ledger.skipped} unparseable line(s) "
               f"in {ledger.path}", file=sys.stderr)
     if args.action == "list":
+        if args.command_filter is not None:
+            records = [r for r in records
+                       if r.get("command") == args.command_filter]
+        if args.status_filter is not None:
+            records = [r for r in records
+                       if str(r.get("status", ""))
+                       .startswith(args.status_filter)]
+        if args.limit is not None and args.limit >= 0:
+            records = records[-args.limit:] if args.limit else []
         if not records:
             print(f"no runs recorded in {ledger.path}")
             return 0
@@ -634,6 +649,68 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         save_fuzz_report(report, report_path)
         print(f"fuzz report -> {report_path}")
     return 0 if report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceOptions, run_service
+
+    if args.socket is None and args.port is None:
+        print("error: serve needs --socket PATH or --port N",
+              file=sys.stderr)
+        return 2
+    workers = args.service_workers or (os.cpu_count() or 2)
+    options = ServiceOptions(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port or 0,
+        num_workers=workers,
+        cache_capacity=args.cache_capacity,
+        batch_size=args.batch_size,
+        ledger_path=None if args.no_ledger else args.ledger,
+        trace_path=args.trace,
+        metrics_path=args.metrics_out,
+        provenance_path=args.provenance,
+        timeseries_path=args.timeseries,
+        kernel=args.kernel)
+    return run_service(options)
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.service.loadgen import (
+        LoadgenOptions,
+        format_report,
+        run_loadgen,
+    )
+
+    options = LoadgenOptions(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port or 0,
+        requests=args.requests,
+        networks=args.networks,
+        rate=args.rate,
+        mix=args.mix,
+        seed=args.seed if args.seed is not None else 0,
+        testbed=args.testbed,
+        channels=args.channels,
+        flows=args.flows,
+        policy=args.policy,
+        rho_t=args.rho_t,
+        traffic=args.traffic,
+        verify=args.verify,
+        report_out=args.report_out)
+    report = run_loadgen(options)
+    print(format_report(report))
+    if args.report_out:
+        Path(args.report_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True))
+        print(f"report: -> {args.report_out}")
+    failed = report["errors"] or \
+        report.get("verify", {}).get("mismatches", 0)
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -889,6 +966,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run id(s); unambiguous prefixes accepted")
     p.add_argument("--ledger", default="runs.jsonl", metavar="FILE",
                    help="ledger file to query")
+    p.add_argument("--status", dest="status_filter", default=None,
+                   metavar="PREFIX",
+                   help="list: only runs whose status starts with this "
+                        "(e.g. 'ok', 'error', 'error:ValueError')")
+    p.add_argument("--command", dest="command_filter", default=None,
+                   metavar="NAME",
+                   help="list: only runs of this command")
+    p.add_argument("--limit", type=int, default=None, metavar="N",
+                   help="list: only the N most recent matching runs")
     p.set_defaults(func=cmd_ledger)
 
     p = sub.add_parser("metrics",
@@ -942,6 +1028,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-burn-threshold", type=float, default=2.0,
                    help="burn rate at/above which a window is hot")
     p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser("serve",
+                       help="long-lived scheduling service (NDJSON over "
+                            "a unix socket or TCP)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="listen on a unix socket (overrides --host/"
+                        "--port)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind address")
+    p.add_argument("--port", type=int, default=7013,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--service-workers", type=int, default=2,
+                   metavar="N",
+                   help="worker processes sharding the fleet "
+                        "(0 = all CPUs)")
+    p.add_argument("--cache-capacity", type=int, default=256,
+                   metavar="N",
+                   help="compiled-artifact cache entries per worker")
+    p.add_argument("--batch-size", type=int, default=100, metavar="N",
+                   help="requests per run-ledger batch record")
+    p.add_argument("--kernel", default=None,
+                   choices=("scalar", "vector", "auto"),
+                   help="pin the placement kernel in every worker")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="front-end event trace (JSONL); each worker "
+                        "exports FILE.w<N> at shutdown")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="front-end metrics snapshot (JSON); each "
+                        "worker exports FILE.w<N> at shutdown")
+    p.add_argument("--provenance", default=None, metavar="FILE",
+                   help="per-placement decision provenance; each "
+                        "worker exports FILE.w<N> at shutdown")
+    p.add_argument("--timeseries", default=None, metavar="FILE",
+                   help="per-batch service.* time series for "
+                        "'repro top'; each worker exports FILE.w<N> "
+                        "at shutdown")
+    ledger_opts(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="seeded load generator + latency report "
+                            "against a running 'repro serve'")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="connect to a unix socket (overrides --host/"
+                        "--port)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7013)
+    p.add_argument("--requests", type=int, default=100,
+                   help="total requests to send")
+    p.add_argument("--networks", type=int, default=8,
+                   help="distinct networks in the fleet")
+    p.add_argument("--rate", type=float, default=0.0, metavar="R",
+                   help="open-loop arrival rate in req/s "
+                        "(0 = closed loop, one in flight per network)")
+    p.add_argument("--mix", type=float, default=0.3,
+                   help="fraction of follow-up requests that are "
+                        "reschedules (rest re-request the schedule)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="plan seed (same seed = same request stream)")
+    p.add_argument("--testbed", default="indriya",
+                   choices=("indriya", "wustl"))
+    p.add_argument("--channels", type=int, default=5)
+    p.add_argument("--flows", type=int, default=10)
+    p.add_argument("--policy", default="RC", choices=("NR", "RA", "RC"))
+    p.add_argument("--rho-t", type=int, default=2)
+    p.add_argument("--traffic", default="p2p",
+                   choices=("p2p", "centralized"))
+    p.add_argument("--verify", action="store_true",
+                   help="shadow-execute every request in-process and "
+                        "compare schedule hashes (bit-identity check; "
+                        "distorts latency numbers)")
+    p.add_argument("--report-out", default=None, metavar="FILE",
+                   help="write the load report as JSON")
+    ledger_opts(p)
+    p.set_defaults(func=cmd_loadgen)
 
     return parser
 

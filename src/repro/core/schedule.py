@@ -445,6 +445,38 @@ class Schedule:
             return 0
         return max(self._slot_entries) + 1
 
+    def signature(self) -> List[tuple]:
+        """Order-preserving tuple view of every placement.
+
+        One tuple per entry, in placement order, carrying the full
+        request identity plus its cell — two schedules are bit-identical
+        iff their signatures are equal.  The benchmark's kernel
+        equivalence check and the scheduling service's response hashing
+        both compare through this form.
+        """
+        return [(e.slot, e.offset, r.flow_id, r.instance, r.hop_index,
+                 r.attempt, r.sender, r.receiver, r.release_slot,
+                 r.deadline_slot)
+                for e in self._entries
+                for r in (e.request,)]
+
+    def canonical_hash(self) -> str:
+        """SHA-256 over the canonical JSON form of this schedule.
+
+        Covers dimensions and the full :meth:`signature`, so any change
+        to any placement (or to placement *order*) changes the hash.
+        Two processes that built the same schedule — service worker and
+        direct library call, scalar and vector kernel — agree on it.
+        """
+        import hashlib
+        import json
+
+        canonical = json.dumps(
+            {"num_nodes": self.num_nodes, "num_slots": self.num_slots,
+             "num_offsets": self.num_offsets, "entries": self.signature()},
+            separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def validate_basic(self) -> None:
         """Re-check structural invariants (used by tests).
 

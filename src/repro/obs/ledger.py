@@ -141,10 +141,31 @@ class RunLedger:
         if metrics:
             record["metrics"] = {key: _jsonable(value)
                                  for key, value in sorted(metrics.items())}
-        from repro.io import append_jsonl
-
-        append_jsonl([record], self.path)
+        self.append(record)
         return record
+
+    def append(self, record: Dict) -> None:
+        """Append one complete record with a single ``O_APPEND`` write.
+
+        The service's worker pool has many processes committing to one
+        ledger concurrently.  A buffered ``open(..., "a")`` append can
+        flush a record in several ``write(2)`` calls, and two writers
+        flushing at once interleave partial lines — exactly the
+        ``.skipped`` corruption :meth:`records` tolerates but must never
+        be *caused* by us.  Building the full line in memory and issuing
+        it as one write to an ``O_APPEND`` descriptor keeps every line
+        intact whatever the writer count (POSIX serializes the
+        offset-advance-plus-write of append-mode writes).
+        """
+        line = json.dumps(record, separators=(",", ":"),
+                          default=str) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
 
     def records(self) -> List[Dict]:
         """All parseable ledger records, oldest first.

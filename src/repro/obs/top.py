@@ -216,6 +216,24 @@ def render_top(timeseries, snapshot: Optional[Dict] = None,
             f"{sparkline(series.values(), width=16, ascii_only=ascii_only)}")
     lines += _panel("channel PRR", channel_lines, width)
 
+    # -- scheduling-service batches ---------------------------------------
+    # `repro serve --timeseries` workers sample service.* per ledger
+    # batch; the panel only appears when such series exist, so manager
+    # dumps render exactly as before.
+    service_lines: List[str] = []
+    for name in sorted(timeseries.names()):
+        if not name.startswith("service."):
+            continue
+        series = timeseries.get(name)
+        last = series.last()
+        if last is None:
+            continue
+        service_lines.append(
+            f"  {name[len('service.'):]:<16} {_fmt(last[1]):>8}  "
+            f"{sparkline(series.values(), width=16, ascii_only=ascii_only)}")
+    if service_lines:
+        lines += _panel("service (per batch)", service_lines, width)
+
     # -- recorder / tracer health ----------------------------------------
     health_lines: List[str] = []
     if snapshot is not None:

@@ -1,0 +1,36 @@
+"""The fleet-scale scheduling service (PR 8).
+
+A long-lived ``repro serve`` process: asyncio NDJSON front-end, worker
+processes sharded by network name, a compiled-artifact cache keyed by
+canonical config hashes, and the ``repro loadgen`` harness that drives
+and verifies it.  See DESIGN.md §15.
+"""
+
+from repro.service.cache import ArtifactCache
+from repro.service.executor import ServiceError, ServiceExecutor
+from repro.service.loadgen import LoadgenOptions, build_plan, run_loadgen
+from repro.service.protocol import (
+    NetworkConfig,
+    ProtocolError,
+    Request,
+    parse_request,
+    shard_of,
+)
+from repro.service.server import ScheduleService, ServiceOptions, run_service
+
+__all__ = [
+    "ArtifactCache",
+    "LoadgenOptions",
+    "NetworkConfig",
+    "ProtocolError",
+    "Request",
+    "ScheduleService",
+    "ServiceError",
+    "ServiceExecutor",
+    "ServiceOptions",
+    "build_plan",
+    "parse_request",
+    "run_loadgen",
+    "run_service",
+    "shard_of",
+]

@@ -1,0 +1,385 @@
+"""Seeded load generator and latency harness for the service.
+
+``repro loadgen`` drives a running ``repro serve`` instance with a
+reproducible mixed workload: every network's first request compiles it
+(``schedule``), later requests either re-request the same compiled
+config (pure cache hits) or evolve the session (``reschedule`` with
+auto-picked victims), with the mix ratio and the interleaving drawn
+from one seeded generator — the same seed always produces the same
+request stream, so latency reports are comparable across runs.
+
+Two arrival models:
+
+* ``rate == 0`` (closed loop) — one logical client per network, next
+  request sent when the previous response lands.  Concurrency equals
+  the network count; this is the model the bench section uses.
+* ``rate > 0`` (open loop) — requests fired at exponential interarrival
+  times regardless of completions, the standard way to measure latency
+  under a fixed offered load without coordinated omission.
+
+``--verify`` feeds every response through a *shadow*
+:class:`~repro.service.executor.ServiceExecutor` executing the same
+per-network request sequence in-process and compares
+``schedule_hash``es — the bit-identity proof that the service (cache,
+sharding, pipelining and all) returns exactly what direct library calls
+return.  Verification adds in-process scheduling work, so latency
+numbers from a verify run measure the harness, not the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.protocol import NetworkConfig, encode_line, parse_request
+
+_LINE_LIMIT = 4 * 1024 * 1024
+
+#: Latency histogram bucket upper bounds, milliseconds.
+_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+               1000.0, float("inf"))
+
+
+@dataclass
+class LoadgenOptions:
+    """Everything ``repro loadgen`` configures."""
+
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 7013
+    requests: int = 100
+    networks: int = 8
+    rate: float = 0.0
+    mix: float = 0.3
+    seed: int = 0
+    testbed: str = "indriya"
+    channels: int = 5
+    flows: int = 10
+    policy: str = "RC"
+    rho_t: int = 2
+    traffic: str = "p2p"
+    verify: bool = False
+    report_out: Optional[str] = None
+
+
+@dataclass
+class _Stats:
+    """Mutable accumulator shared by the client coroutines."""
+
+    latencies_ms: List[float] = field(default_factory=list)
+    verbs: Dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    error_samples: List[Dict] = field(default_factory=list)
+    noops: int = 0
+    repairs: int = 0
+    rebuilds: int = 0
+    verified: int = 0
+    mismatches: int = 0
+    mismatch_samples: List[Dict] = field(default_factory=list)
+
+
+def build_plan(options: LoadgenOptions) -> List[Dict]:
+    """The seeded request stream (wire dicts, ids = stream position).
+
+    The first ``networks`` requests schedule each network once, in
+    order; the rest pick a network and a verb from the seeded stream.
+    All networks share one topology seed (exercising the shared
+    topology artifact) while carrying per-network workload seeds.
+    """
+    rng = np.random.default_rng(options.seed)
+    names = [f"net-{i:03d}" for i in range(options.networks)]
+    configs = {
+        name: NetworkConfig(
+            testbed=options.testbed, seed=options.seed,
+            channels=options.channels, flows=options.flows,
+            traffic=options.traffic, policy=options.policy,
+            rho_t=options.rho_t,
+            workload_seed=options.seed + index).to_dict()
+        for index, name in enumerate(names)}
+    plan: List[Dict] = []
+    for request_id in range(options.requests):
+        if request_id < len(names):
+            name = names[request_id]
+            verb = "schedule"
+        else:
+            name = names[int(rng.integers(len(names)))]
+            verb = ("reschedule" if rng.random() < options.mix
+                    else "schedule")
+        request: Dict = {"id": request_id, "verb": verb, "network": name}
+        if verb == "schedule":
+            request["config"] = configs[name]
+        else:
+            request["victims"] = "auto"
+        plan.append(request)
+    return plan
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1,
+                       int(np.ceil(q * len(sorted_values))) - 1))
+    return sorted_values[index]
+
+
+def _histogram(latencies_ms: List[float]) -> List[Dict]:
+    counts = [0] * len(_BUCKETS_MS)
+    for value in latencies_ms:
+        for index, bound in enumerate(_BUCKETS_MS):
+            if value <= bound:
+                counts[index] += 1
+                break
+    return [{"le_ms": None if bound == float("inf") else bound,
+             "count": count}
+            for bound, count in zip(_BUCKETS_MS, counts)]
+
+
+def format_histogram(histogram: List[Dict], width: int = 40) -> str:
+    peak = max((bucket["count"] for bucket in histogram), default=0)
+    lines = []
+    for bucket in histogram:
+        label = ("   +inf" if bucket["le_ms"] is None
+                 else f"{bucket['le_ms']:7.0f}")
+        bar = ("#" * max(1, int(width * bucket["count"] / peak))
+               if bucket["count"] else "")
+        lines.append(f"  <= {label} ms  {bucket['count']:6d}  {bar}")
+    return "\n".join(lines)
+
+
+class _Client:
+    """One NDJSON connection with id-matched response futures."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.pending: Dict[object, asyncio.Future] = {}
+        self.reader_task: Optional[asyncio.Task] = None
+
+    @classmethod
+    async def connect(cls, options: LoadgenOptions) -> "_Client":
+        if options.socket_path:
+            reader, writer = await asyncio.open_unix_connection(
+                options.socket_path, limit=_LINE_LIMIT)
+        else:
+            reader, writer = await asyncio.open_connection(
+                options.host, options.port, limit=_LINE_LIMIT)
+        client = cls(reader, writer)
+        client.reader_task = asyncio.ensure_future(client._drain())
+        return client
+
+    async def _drain(self) -> None:
+        while True:
+            line = await self.reader.readline()
+            if not line:
+                break
+            try:
+                response = json.loads(line)
+            except json.JSONDecodeError:  # pragma: no cover - bad server
+                continue
+            future = self.pending.pop(response.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(response)
+        for future in self.pending.values():  # pragma: no cover
+            if not future.done():
+                future.set_exception(ConnectionError("server closed"))
+        self.pending.clear()
+
+    async def request(self, payload: Dict) -> Tuple[Dict, float]:
+        """Send one request; returns (response, latency_ms)."""
+        future = asyncio.get_running_loop().create_future()
+        self.pending[payload.get("id")] = future
+        async with self.lock:
+            self.writer.write(encode_line(payload))
+            await self.writer.drain()
+        start = time.perf_counter()
+        response = await future
+        return response, (time.perf_counter() - start) * 1e3
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionResetError, OSError):  # pragma: no cover
+            pass
+        if self.reader_task is not None:
+            self.reader_task.cancel()
+
+
+def _note_response(stats: _Stats, payload: Dict, response: Dict,
+                   latency_ms: float, shadow) -> None:
+    stats.latencies_ms.append(latency_ms)
+    verb = payload["verb"]
+    stats.verbs[verb] = stats.verbs.get(verb, 0) + 1
+    if not response.get("ok"):
+        stats.errors += 1
+        if len(stats.error_samples) < 5:
+            stats.error_samples.append(response)
+        return
+    result = response.get("result", {})
+    mode = result.get("repair_mode")
+    if mode == "noop":
+        stats.noops += 1
+    elif mode == "repair":
+        stats.repairs += 1
+    elif mode == "rebuild":
+        stats.rebuilds += 1
+    if shadow is not None:
+        expected = shadow.handle(parse_request(dict(payload)))
+        stats.verified += 1
+        if expected.get("schedule_hash") != result.get("schedule_hash"):
+            stats.mismatches += 1
+            if len(stats.mismatch_samples) < 5:
+                stats.mismatch_samples.append(
+                    {"id": payload.get("id"),
+                     "network": payload.get("network"),
+                     "verb": verb,
+                     "expected": expected.get("schedule_hash"),
+                     "got": result.get("schedule_hash")})
+
+
+async def _run_closed_loop(client: _Client, plan: List[Dict],
+                           stats: _Stats, shadow) -> None:
+    by_network: Dict[str, List[Dict]] = {}
+    for payload in plan:
+        by_network.setdefault(payload["network"], []).append(payload)
+
+    async def drive(requests: List[Dict]) -> None:
+        for payload in requests:
+            response, latency_ms = await client.request(payload)
+            _note_response(stats, payload, response, latency_ms, shadow)
+
+    await asyncio.gather(*(drive(requests)
+                           for requests in by_network.values()))
+
+
+async def _run_open_loop(client: _Client, plan: List[Dict],
+                         stats: _Stats, shadow, rate: float,
+                         seed: int) -> None:
+    rng = np.random.default_rng(seed + 1)
+    gaps = rng.exponential(1.0 / rate, size=len(plan))
+    tasks: List[asyncio.Task] = []
+    ordered: Dict[str, asyncio.Task] = {}
+
+    async def fire(payload: Dict, after: Optional[asyncio.Task]) -> None:
+        response, latency_ms = await client.request(payload)
+        if after is not None:
+            # Shadow execution must respect per-network request order
+            # even if responses interleave across networks.
+            await after
+        _note_response(stats, payload, response, latency_ms, shadow)
+
+    for payload, gap in zip(plan, gaps):
+        task = asyncio.ensure_future(
+            fire(payload, ordered.get(payload["network"])
+                 if shadow is not None else None))
+        ordered[payload["network"]] = task
+        tasks.append(task)
+        await asyncio.sleep(gap)
+    await asyncio.gather(*tasks)
+
+
+async def _run(options: LoadgenOptions) -> Dict:
+    shadow = None
+    if options.verify:
+        from repro.service.executor import ServiceExecutor
+
+        shadow = ServiceExecutor(worker_index=-1)
+    plan = build_plan(options)
+    stats = _Stats()
+    client = await _Client.connect(options)
+    started = time.perf_counter()
+    try:
+        if options.rate > 0:
+            await _run_open_loop(client, plan, stats, shadow,
+                                 options.rate, options.seed)
+        else:
+            await _run_closed_loop(client, plan, stats, shadow)
+        wall_s = time.perf_counter() - started
+        status_response, _ = await client.request(
+            {"id": "loadgen-status", "verb": "status"})
+    finally:
+        await client.close()
+    service_status = status_response.get("result", {}) \
+        if status_response.get("ok") else {}
+    latencies = sorted(stats.latencies_ms)
+    report = {
+        "requests": len(plan),
+        "networks": options.networks,
+        "seed": options.seed,
+        "mix": options.mix,
+        "rate": options.rate,
+        "wall_s": round(wall_s, 3),
+        "rps": round(len(plan) / wall_s, 2) if wall_s > 0 else None,
+        "verbs": dict(sorted(stats.verbs.items())),
+        "errors": stats.errors,
+        "error_samples": stats.error_samples,
+        "reschedule_modes": {"noop": stats.noops,
+                             "repair": stats.repairs,
+                             "rebuild": stats.rebuilds},
+        "latency_ms": {
+            "mean": round(float(np.mean(latencies)), 3) if latencies
+            else None,
+            "p50": round(_percentile(latencies, 0.50), 3),
+            "p90": round(_percentile(latencies, 0.90), 3),
+            "p99": round(_percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else None,
+        },
+        "histogram": _histogram(latencies),
+        "service": {
+            "repair_fallbacks": service_status.get("repair_fallbacks"),
+            "cache": service_status.get("cache"),
+            "networks": service_status.get("networks"),
+        },
+    }
+    if options.verify:
+        report["verify"] = {"checked": stats.verified,
+                            "mismatches": stats.mismatches,
+                            "mismatch_samples": stats.mismatch_samples}
+    return report
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable load report (the JSON is the machine artifact)."""
+    lines = [
+        f"loadgen: {report['requests']} request(s) over "
+        f"{report['networks']} network(s), seed {report['seed']}",
+        f"  wall {report['wall_s']:.3f} s  ->  {report['rps']} req/s "
+        f"({'open loop @ %.1f/s' % report['rate'] if report['rate'] > 0 else 'closed loop'})",
+        f"  verbs: " + ", ".join(f"{verb}={count}" for verb, count
+                                 in report["verbs"].items()),
+        f"  reschedule modes: "
+        + ", ".join(f"{mode}={count}" for mode, count
+                    in report["reschedule_modes"].items()),
+        f"  errors: {report['errors']}",
+        f"  latency ms: p50={report['latency_ms']['p50']} "
+        f"p90={report['latency_ms']['p90']} "
+        f"p99={report['latency_ms']['p99']} "
+        f"max={report['latency_ms']['max']}",
+    ]
+    if report.get("service", {}).get("cache"):
+        cache = report["service"]["cache"]
+        total = cache.get("hit_total", 0) + cache.get("miss_total", 0)
+        rate = (cache.get("hit_total", 0) / total) if total else 0.0
+        lines.append(f"  service cache: {cache.get('hit_total', 0)} hits /"
+                     f" {cache.get('miss_total', 0)} misses "
+                     f"({rate:.1%} hit rate), "
+                     f"fallbacks={report['service']['repair_fallbacks']}")
+    if "verify" in report:
+        verify = report["verify"]
+        lines.append(f"  verify: {verify['checked']} checked, "
+                     f"{verify['mismatches']} mismatch(es)")
+    lines.append("  latency histogram:")
+    lines.append(format_histogram(report["histogram"]))
+    return "\n".join(lines)
+
+
+def run_loadgen(options: LoadgenOptions) -> Dict:
+    """Blocking entry point for ``repro loadgen``; returns the report."""
+    return asyncio.run(_run(options))

@@ -1,0 +1,222 @@
+"""Worker-process side of the scheduling service.
+
+Each worker owns one shard of the network fleet: a
+:class:`~repro.service.executor.ServiceExecutor` (artifact cache +
+sessions), its own observability recorder, and a duplex pipe to the
+asyncio front-end.  The loop is strictly serial — receive one message,
+answer it, repeat — which is what makes the sharding contract hold:
+requests for the same network arrive on the same pipe in order and
+therefore serialize, with no locks anywhere in the execution path.
+
+Messages from the front-end are tuples: ``("request", payload_dict)``
+for the shard-routed verbs, ``("status",)`` / ``("metrics",)`` control
+probes, and ``None`` for graceful shutdown.  Every message gets exactly
+one reply, so the front-end can match responses FIFO.
+
+**Ledger batching.**  A service turning over thousands of requests must
+not write one ledger record per request; the worker opens a run record
+when a batch's first request lands and commits it — one atomic
+``O_APPEND`` line, see :meth:`repro.obs.ledger.RunLedger.append` —
+every ``batch_size`` requests and at shutdown, carrying per-verb
+counts, error counts, and the cache's hit/miss counters as headline
+metrics.
+
+**Observability.**  The recorder is always on in a worker (counters are
+the point of a long-lived service); trace / metrics / provenance dumps
+are exported at shutdown to the configured path with a ``.w<index>``
+suffix so N workers never fight over one file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.service.executor import ServiceExecutor
+from repro.service.protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+#: Default requests per ledger batch record.
+DEFAULT_BATCH_SIZE = 100
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Picklable worker configuration (crosses the fork/spawn boundary).
+
+    Attributes:
+        cache_capacity: Artifact-cache LRU bound per worker.
+        batch_size: Requests per ledger batch record.
+        ledger_path: Run ledger to append batch records to (None = off).
+        trace_path: Export the worker's event trace here (+``.w<i>``).
+        metrics_path: Export the metrics snapshot here (+``.w<i>``).
+        provenance_path: Record + export decision provenance (+``.w<i>``).
+        timeseries_path: Sample per-batch ``service.*`` series and
+            export them here (+``.w<i>``) for ``repro top``.
+        kernel: Placement-kernel mode to pin process-wide (None = keep
+            the default crossover-aware ``auto``).
+    """
+
+    cache_capacity: int = 256
+    batch_size: int = DEFAULT_BATCH_SIZE
+    ledger_path: Optional[str] = None
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+    provenance_path: Optional[str] = None
+    timeseries_path: Optional[str] = None
+    kernel: Optional[str] = None
+
+
+class _LedgerBatcher:
+    """Folds per-request accounting into one ledger record per batch.
+
+    Also the service's time-series cadence: each batch boundary samples
+    ``service.*`` series (requests, errors, cumulative cache hit rate)
+    at ``t = batch_index`` on the worker's recorder — a no-op unless the
+    recorder carries a store (``--timeseries``).
+    """
+
+    def __init__(self, index: int, options: WorkerOptions, recorder=None):
+        from repro.obs.ledger import RunLedger
+
+        self.index = index
+        self.options = options
+        self.recorder = recorder
+        self.ledger = (RunLedger(options.ledger_path)
+                       if options.ledger_path else None)
+        self.batch_index = 0
+        self.record: Optional[Dict] = None
+        self.counts: Dict[str, int] = {}
+        self.batch_errors = 0
+
+    def note(self, verb: str, ok: bool, cache_stats: Dict) -> None:
+        from repro.obs.ledger import new_record
+
+        if self.ledger is not None and self.record is None:
+            self.record = new_record(
+                "serve", argv=[],
+                config={"worker": self.index,
+                        "batch": self.batch_index,
+                        "batch_size": self.options.batch_size})
+        self.counts[verb] = self.counts.get(verb, 0) + 1
+        if not ok:
+            self.batch_errors += 1
+        if sum(self.counts.values()) >= self.options.batch_size:
+            self.flush(cache_stats)
+
+    def flush(self, cache_stats: Dict) -> None:
+        total = sum(self.counts.values())
+        if total == 0:
+            return
+        if self.recorder is not None:
+            t = float(self.batch_index)
+            self.recorder.sample("service.requests", t, float(total))
+            self.recorder.sample("service.errors", t,
+                                 float(self.batch_errors))
+            lookups = (cache_stats.get("hit_total", 0)
+                       + cache_stats.get("miss_total", 0))
+            if lookups:
+                self.recorder.sample(
+                    "service.cache_hit_rate", t,
+                    cache_stats.get("hit_total", 0) / lookups)
+        if self.ledger is not None and self.record is not None:
+            metrics = {f"requests.{verb}": count
+                       for verb, count in sorted(self.counts.items())}
+            metrics["requests"] = total
+            metrics["errors"] = self.batch_errors
+            metrics["cache_hits"] = cache_stats.get("hit_total", 0)
+            metrics["cache_misses"] = cache_stats.get("miss_total", 0)
+            status = "ok" if self.batch_errors == 0 else \
+                f"ok:{self.batch_errors}-errors"
+            self.ledger.commit(self.record, status=status, metrics=metrics)
+        self.record = None
+        self.counts = {}
+        self.batch_errors = 0
+        self.batch_index += 1
+
+
+def _worker_path(path: str, index: int) -> str:
+    return f"{path}.w{index}"
+
+
+def worker_main(index: int, conn, options: WorkerOptions) -> None:
+    """Entry point of one worker process (runs until told to stop)."""
+    from repro import obs
+    from repro.core import kernel as _kernel
+
+    if options.kernel:
+        _kernel.set_kernel(options.kernel)
+    prov = None
+    if options.provenance_path:
+        from repro.obs.provenance import ProvenanceRecorder
+
+        prov = ProvenanceRecorder()
+    timeseries = (obs.TimeSeriesStore()
+                  if options.timeseries_path else None)
+    recorder = obs.recorder.enable(obs.Recorder(provenance=prov,
+                                                timeseries=timeseries))
+    executor = ServiceExecutor(cache_capacity=options.cache_capacity,
+                               worker_index=index)
+    batcher = _LedgerBatcher(index, options, recorder)
+    served = 0
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            kind = message[0]
+            if kind == "request":
+                try:
+                    request = parse_request(message[1])
+                    result = executor.handle(request)
+                    response = ok_response(request, result, worker=index)
+                except ProtocolError as error:
+                    response = error_response(None, error, worker=index)
+                except Exception as error:  # stay alive per-request
+                    parsed = locals().get("request")
+                    response = error_response(
+                        parsed if parsed is not None else None, error,
+                        worker=index)
+                served += 1
+                batcher.note(message[1].get("verb", "?"),
+                             bool(response.get("ok")),
+                             executor.cache.stats())
+                conn.send(response)
+            elif kind == "status":
+                conn.send(executor.status())
+            elif kind == "metrics":
+                conn.send(recorder.snapshot())
+            else:
+                conn.send({"ok": False,
+                           "error": {"type": "ProtocolError",
+                                     "message": f"unknown control "
+                                                f"message {kind!r}"}})
+    finally:
+        batcher.flush(executor.cache.stats())
+        if options.trace_path:
+            recorder.tracer.export_jsonl(
+                _worker_path(options.trace_path, index))
+        if options.metrics_path:
+            from repro.io import save_metrics
+
+            save_metrics(recorder.snapshot(),
+                         _worker_path(options.metrics_path, index))
+        if prov is not None and options.provenance_path:
+            prov.export_jsonl(_worker_path(options.provenance_path, index))
+        if timeseries is not None:
+            timeseries.export_jsonl(
+                _worker_path(options.timeseries_path, index))
+        obs.recorder.disable()
+        try:
+            conn.send({"kind": "worker_exit", "worker": index,
+                       "served": served})
+            conn.close()
+        except (OSError, BrokenPipeError):
+            pass

@@ -1,0 +1,303 @@
+"""End-to-end tests: a real ``repro serve`` process over a unix socket.
+
+Starts the service as a subprocess, drives it with a blocking NDJSON
+client and with the ``repro loadgen`` CLI, and checks the acceptance
+properties: zero errors on a mixed workload, responses bit-identical to
+direct library calls (shadow executor), reschedules served by the
+repair path, OpenMetrics exposition parsing strictly, ledger batch
+records intact, and a clean SIGTERM shutdown.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.ledger import RunLedger
+from repro.obs.openmetrics import parse_openmetrics
+from repro.service.executor import ServiceExecutor
+from repro.service.loadgen import LoadgenOptions, build_plan
+from repro.service.protocol import parse_request
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Loadgen plan with reused cells and (empirically) zero repair
+#: fallbacks — the "clean workload" of the acceptance criteria.
+PLAN_KW = dict(requests=60, networks=8, flows=30, seed=5)
+
+
+class NdjsonClient:
+    """Minimal blocking line-oriented client for tests."""
+
+    def __init__(self, path: str, timeout: float = 120.0):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(path)
+        self.file = self.sock.makefile("rwb")
+
+    def request(self, payload: dict) -> dict:
+        self.file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self.file.flush()
+        line = self.file.readline()
+        assert line, "server closed the connection"
+        return json.loads(line)
+
+    def send_raw(self, data: bytes) -> dict:
+        self.file.write(data)
+        self.file.flush()
+        return json.loads(self.file.readline())
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A running 2-worker service on a tmp unix socket."""
+    socket_path = str(tmp_path / "serve.sock")
+    ledger_path = str(tmp_path / "runs.jsonl")
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", socket_path,
+         "--service-workers", "2",
+         "--batch-size", "10",
+         "--ledger", ledger_path],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    deadline = time.time() + 60
+    while not os.path.exists(socket_path):
+        if process.poll() is not None:
+            raise AssertionError(
+                f"serve exited early:\n{process.stdout.read()}")
+        if time.time() > deadline:
+            process.kill()
+            raise AssertionError("serve did not open its socket")
+        time.sleep(0.05)
+    yield {"socket": socket_path, "ledger": ledger_path,
+           "process": process}
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def drive_plan(client: NdjsonClient, plan):
+    """Run a loadgen plan serially; returns the responses in order."""
+    return [client.request(payload) for payload in plan]
+
+
+class TestServeEndToEnd:
+    def test_mixed_workload_bit_identical(self, service):
+        plan = build_plan(LoadgenOptions(**PLAN_KW))
+        client = NdjsonClient(service["socket"])
+        try:
+            responses = drive_plan(client, plan)
+            status = client.request({"id": "st", "verb": "status"})
+        finally:
+            client.close()
+
+        assert all(response["ok"] for response in responses)
+        # Bit-identity: replay the same stream on a shadow executor.
+        shadow = ServiceExecutor()
+        modes = {"repair": 0, "noop": 0, "rebuild": 0}
+        for payload, response in zip(plan, responses):
+            expected = shadow.handle(parse_request(dict(payload)))
+            assert expected["schedule_hash"] == \
+                response["result"]["schedule_hash"], payload
+            mode = response["result"].get("repair_mode")
+            if mode:
+                modes[mode] += 1
+        # The clean workload is served by the repair path, never the
+        # rebuild fallback.
+        assert modes["repair"] > 0
+        assert modes["rebuild"] == 0
+
+        result = status["result"]
+        assert result["workers"] == 2
+        assert result["workers_alive"] == 2
+        assert result["repair_fallbacks"] == 0
+        assert result["networks"] == PLAN_KW["networks"]
+        total = sum(result["requests"].values())
+        assert total == len(plan)
+        cache = result["cache"]
+        assert cache["hit_total"] + cache["miss_total"] == 3 * sum(
+            1 for p in plan if p["verb"] == "schedule")
+
+    def test_warm_cache_faster_than_cold(self, service):
+        config = {"testbed": "indriya", "seed": 3, "flows": 20}
+        client = NdjsonClient(service["socket"])
+        try:
+            cold = client.request({"id": 0, "verb": "schedule",
+                                   "network": "warmth",
+                                   "config": config})
+            warm = client.request({"id": 1, "verb": "schedule",
+                                   "network": "warmth",
+                                   "config": config})
+        finally:
+            client.close()
+        assert cold["result"]["cache"]["schedule"] == "miss"
+        assert warm["result"]["cache"]["schedule"] == "hit"
+        assert warm["result"]["schedule_hash"] == \
+            cold["result"]["schedule_hash"]
+        # Generous margin: a warm hit skips topology + workload +
+        # scheduling entirely, so 2x is conservative even on CI.
+        assert warm["result"]["elapsed_ms"] < \
+            cold["result"]["elapsed_ms"] / 2
+
+    def test_sharding_pins_network_to_one_worker(self, service):
+        client = NdjsonClient(service["socket"])
+        try:
+            workers = {
+                name: client.request(
+                    {"id": name, "verb": "schedule", "network": name,
+                     "config": {"seed": 1, "flows": 4}})["worker"]
+                for name in ("a", "b", "c", "d")
+                for _ in range(2)}
+            repeat = {
+                name: client.request(
+                    {"id": name + "2", "verb": "schedule",
+                     "network": name,
+                     "config": {"seed": 1, "flows": 4}})["worker"]
+                for name in ("a", "b", "c", "d")}
+        finally:
+            client.close()
+        assert workers == repeat
+        assert set(workers.values()) == {0, 1}
+
+    def test_protocol_errors_answered_inline(self, service):
+        client = NdjsonClient(service["socket"])
+        try:
+            bad_json = client.send_raw(b"{nope\n")
+            bad_verb = client.request({"id": 9, "verb": "frobnicate"})
+            no_state = client.request({"id": 10, "verb": "reschedule",
+                                       "network": "ghost"})
+            ping = client.request({"id": 11, "verb": "ping"})
+        finally:
+            client.close()
+        assert not bad_json["ok"]
+        assert bad_json["error"]["type"] == "ProtocolError"
+        assert not bad_verb["ok"]
+        assert bad_verb["id"] is None  # parse failed before id capture
+        assert not no_state["ok"]
+        assert no_state["error"]["type"] == "ServiceError"
+        assert no_state["id"] == 10
+        assert ping["ok"] and ping["result"]["pong"]
+
+    def test_explain_verb(self, service):
+        client = NdjsonClient(service["socket"])
+        try:
+            compiled = client.request(
+                {"id": 0, "verb": "schedule", "network": "x",
+                 "config": {"seed": 1, "flows": 6},
+                 "include_schedule": True})
+            entry = compiled["result"]["schedule"]["entries"][0]
+            explained = client.request(
+                {"id": 1, "verb": "explain", "network": "x",
+                 "link": [entry["sender"], entry["receiver"]],
+                 "slot": entry["slot"]})
+        finally:
+            client.close()
+        assert explained["ok"]
+        assert explained["result"]["lines"]
+
+    def test_metrics_exposition_parses_strictly(self, service):
+        client = NdjsonClient(service["socket"])
+        try:
+            client.request({"id": 0, "verb": "schedule", "network": "m",
+                            "config": {"seed": 1, "flows": 4}})
+            metrics = client.request({"id": 1, "verb": "metrics"})
+        finally:
+            client.close()
+        assert metrics["ok"]
+        families = parse_openmetrics(metrics["result"]["exposition"])
+        sample_names = {sample[0] for family in families.values()
+                        for sample in family["samples"]}
+        assert any(name.startswith("repro_service_requests")
+                   for name in sample_names)
+
+    def test_sigterm_clean_shutdown_and_ledger(self, service):
+        plan = build_plan(LoadgenOptions(requests=25, networks=4,
+                                         flows=8, seed=2))
+        client = NdjsonClient(service["socket"])
+        try:
+            responses = drive_plan(client, plan)
+        finally:
+            client.close()
+        assert all(response["ok"] for response in responses)
+
+        process = service["process"]
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=30) == 0
+        output = process.stdout.read()
+        assert "shutting down" in output
+        assert "drained 25 request(s)" in output
+
+        # Worker batch records (batch size 10 -> >= 3 across workers,
+        # partial batches flushed at shutdown) are all intact.
+        ledger = RunLedger(service["ledger"])
+        records = [r for r in ledger.records()
+                   if r.get("command") == "serve" and "metrics" in r]
+        assert ledger.skipped == 0
+        assert sum(r["metrics"]["requests"] for r in records) == 25
+
+
+class TestLoadgenCli:
+    def test_loadgen_verify_roundtrip(self, service, tmp_path, capsys):
+        report_path = tmp_path / "load-report.json"
+        code = main([
+            "loadgen", "--socket", service["socket"],
+            "--requests", "40", "--networks", "8", "--flows", "30",
+            "--seed", "5", "--verify",
+            "--report-out", str(report_path), "--no-ledger"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "0 mismatch(es)" in out
+
+        report = json.loads(report_path.read_text())
+        assert report["requests"] == 40
+        assert report["errors"] == 0
+        assert report["verify"] == {"checked": 40, "mismatches": 0,
+                                    "mismatch_samples": []}
+        assert report["reschedule_modes"]["rebuild"] == 0
+        assert report["latency_ms"]["p99"] >= \
+            report["latency_ms"]["p50"] > 0
+        assert sum(bucket["count"]
+                   for bucket in report["histogram"]) == 40
+        assert report["service"]["repair_fallbacks"] == 0
+
+    def test_loadgen_open_loop(self, service, capsys):
+        code = main([
+            "loadgen", "--socket", service["socket"],
+            "--requests", "20", "--networks", "4", "--flows", "6",
+            "--seed", "3", "--rate", "200", "--no-ledger"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "open loop" in out
+        assert "errors: 0" in out
+
+    def test_plan_is_seed_deterministic(self):
+        options = LoadgenOptions(requests=50, networks=6, seed=9)
+        assert build_plan(options) == build_plan(options)
+        shifted = LoadgenOptions(requests=50, networks=6, seed=10)
+        assert build_plan(shifted) != build_plan(options)
+        plan = build_plan(options)
+        first_by_network = {}
+        for payload in plan:
+            first_by_network.setdefault(payload["network"],
+                                        payload["verb"])
+        assert set(first_by_network.values()) == {"schedule"}
