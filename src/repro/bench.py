@@ -4,10 +4,12 @@ Times the NR / RA / RC schedulers on fixed, seeded Figure-1-style
 workloads (Indriya testbed, 5 channels, centralized traffic) under both
 placement kernels, times single-victim remediation both ways —
 warm-start repair (:mod:`repro.core.repair`) vs full barrier rebuild —
-and times a small schedulability sweep at one and several worker
-processes.  Results land in ``BENCH_schedulers.json`` so kernel,
-repair, and parallelism changes leave an auditable performance trail
-in the repository.
+times the Monte-Carlo simulator's slot oracle against the batched
+event engine on reliability-style WUSTL workloads, and times a small
+schedulability sweep at one and several worker processes.  Results
+land in ``BENCH_schedulers.json`` so kernel, repair, simulator, and
+parallelism changes leave an auditable performance trail in the
+repository.
 
 Methodology:
 
@@ -64,17 +66,17 @@ REGRESSION_THRESHOLD = 0.20
 SERVICE_REGRESSION_THRESHOLD = 0.50
 
 #: Crossover gate: the auto kernel may be at most this much slower than
-#: the better fixed kernel in any cell.  Nonzero because in cells where
-#: auto resolves to the better kernel its timing and the fixed-kernel
-#: timing are samples of the same distribution, and pure noise decides
-#: which best-of-N lands lower — measured same-code-path spreads reach
-#: ~18% on shared/containerized hardware, so the gate sits just above.
-AUTO_TOLERANCE = 0.25
+#: the better fixed kernel in any cell.  Auto's timing pools its own
+#: samples with its resolved kernel's (see :func:`bench_schedulers`), so
+#: same-code-path noise no longer reaches this gate; the residual slack
+#: covers cells where the two fixed kernels are timing-indistinguishable
+#: (NR) and noise decides which *fixed* best-of-N lands lower.
+AUTO_TOLERANCE = 0.05
 
 #: Quick mode times one small (~ms) workload, where scheduler wall time
 #: is dominated by allocator/cache state rather than kernel choice;
 #: the auto contract is only *smoke*-checked there.
-QUICK_AUTO_TOLERANCE = 0.75
+QUICK_AUTO_TOLERANCE = 0.25
 
 #: Figure-1-style workload sizes (flows on 5 channels, centralized).
 #: The 20-flow cell doubles as the quick-mode workload, so CI's quick
@@ -112,27 +114,31 @@ def _placements_of(result) -> List[tuple]:
     return result.schedule.signature()
 
 
-def _time_run(network, flow_set, policy: str, kernel: str,
-              repetitions: int) -> Dict:
-    """Best-of-N wall time plus one instrumented pass for work counters."""
+def _instrumented_counters(network, flow_set, policy: str,
+                           kernel: str) -> Dict:
+    """One obs-recorded pass for a cell's work counters."""
     with _kernel.kernel_mode(kernel):
-        best_s = float("inf")
-        for _ in range(repetitions):
-            start = time.perf_counter()
-            result = schedule_workload(network, flow_set, policy)
-            best_s = min(best_s, time.perf_counter() - start)
         with obs.recording() as recorder:
             schedule_workload(network, flow_set, policy)
-        counters = recorder.snapshot()["counters"]
-    placements = counters.get("scheduler.placements", 0)
-    return {
-        "wall_s": best_s,
-        "schedulable": result.schedulable,
-        "placements": int(placements),
-        "slots_scanned": int(counters.get("scheduler.slots_scanned", 0)),
-        "placements_per_s": (placements / best_s) if best_s > 0 else None,
-        "signature": _placements_of(result),
-    }
+    return recorder.snapshot()["counters"]
+
+
+def _resolved_auto_kernel(flow_set, policy: str) -> str:
+    """The concrete kernel auto resolves to for one bench workload.
+
+    Mirrors :meth:`repro.core.scheduler.FixedPriorityScheduler
+    ._resolve_auto`: the size estimate is the number of transmission
+    requests the run places (instances x route hops x attempts).
+    """
+    from repro.core.scheduler import ATTEMPTS_PER_LINK
+
+    hyperperiod = flow_set.hyperperiod()
+    num_requests = sum(
+        (hyperperiod // flow.period_slots) * len(flow.links)
+        * ATTEMPTS_PER_LINK
+        for flow in flow_set)
+    with _kernel.kernel_mode(_kernel.KERNEL_AUTO):
+        return _kernel.resolve_kernel(policy, num_requests)
 
 
 def bench_schedulers(flow_counts: Sequence[int], seed: int,
@@ -140,10 +146,22 @@ def bench_schedulers(flow_counts: Sequence[int], seed: int,
                      auto_tolerance: float = AUTO_TOLERANCE) -> List[Dict]:
     """Scalar / vector / auto timings for every (flow count, policy) pair.
 
-    Each cell times all three kernel modes; ``auto`` resolves per
-    (policy, workload size) inside the scheduler engine (see
-    :func:`repro.core.kernel.resolve_kernel`), and :func:`check_auto`
-    asserts it never lands on the slower kernel beyond noise tolerance.
+    Each cell times all three kernel modes with the repetitions
+    *interleaved* (one run per kernel per round), so slow drift on
+    shared hardware hits every kernel alike instead of whichever mode
+    happened to run during a noisy stretch.
+
+    The auto cell's wall time additionally pools its samples with its
+    resolved fixed kernel's: an auto run *is* that kernel's code path
+    plus a constant-time resolution (:func:`repro.core.kernel
+    .resolve_kernel`), so both sample the same distribution and the
+    pooled best is a tighter estimate of the same quantity — without it,
+    best-of-N noise between two identical code paths decides the sign of
+    ``auto_speedup``.  The raw unpooled timing is kept alongside
+    (``raw_wall_s``) so the pooling is auditable.  :func:`check_auto`
+    then asserts auto never *loses*: a pooled auto cell slower than
+    scalar means the resolution genuinely picked a slower vector path.
+
     Best-of-1 timings (``repetitions == 1``) cannot support a
     noise-bounded assertion, so the check is skipped there — the
     schedule-signature equivalence check still runs.
@@ -155,18 +173,44 @@ def bench_schedulers(flow_counts: Sequence[int], seed: int,
     for num_flows, flow_set in workloads:
         for policy in POLICY_NAMES:
             row: Dict = {"num_flows": num_flows, "policy": policy}
-            signatures = {}
-            for kernel in kernels:
-                timing = _time_run(network, flow_set, policy, kernel,
-                                   repetitions)
-                signatures[kernel] = timing.pop("signature")
-                row[kernel] = timing
+            best = {kernel: float("inf") for kernel in kernels}
+            results = {}
+            for _ in range(repetitions):
+                for kernel in kernels:
+                    with _kernel.kernel_mode(kernel):
+                        start = time.perf_counter()
+                        results[kernel] = schedule_workload(
+                            network, flow_set, policy)
+                        best[kernel] = min(
+                            best[kernel], time.perf_counter() - start)
+            signatures = {kernel: _placements_of(result)
+                          for kernel, result in results.items()}
             for kernel in kernels[1:]:
                 if signatures[kernel] != signatures[_kernel.KERNEL_SCALAR]:
                     raise AssertionError(
                         f"kernel divergence: {policy} at {num_flows} flows "
                         f"produced different schedules under the scalar "
                         f"and {kernel} kernels")
+            resolved = _resolved_auto_kernel(flow_set, policy)
+            for kernel in kernels:
+                counters = _instrumented_counters(network, flow_set,
+                                                  policy, kernel)
+                placements = counters.get("scheduler.placements", 0)
+                wall_s = best[kernel]
+                timing = {
+                    "wall_s": wall_s,
+                    "schedulable": results[kernel].schedulable,
+                    "placements": int(placements),
+                    "slots_scanned":
+                        int(counters.get("scheduler.slots_scanned", 0)),
+                }
+                if kernel == _kernel.KERNEL_AUTO:
+                    timing["resolved"] = resolved
+                    timing["raw_wall_s"] = wall_s
+                    timing["wall_s"] = wall_s = min(wall_s, best[resolved])
+                timing["placements_per_s"] = (
+                    placements / wall_s if wall_s > 0 else None)
+                row[kernel] = timing
             scalar_s = row[_kernel.KERNEL_SCALAR]["wall_s"]
             vector_s = row[_kernel.KERNEL_VECTOR]["wall_s"]
             auto_s = row[_kernel.KERNEL_AUTO]["wall_s"]
@@ -182,14 +226,22 @@ def bench_schedulers(flow_counts: Sequence[int], seed: int,
 
 def check_auto(rows: Sequence[Dict],
                tolerance: float = AUTO_TOLERANCE) -> None:
-    """Assert the auto kernel never loses to the better fixed kernel.
+    """Assert the auto kernel never loses a cell.
 
-    The crossover contract: in every cell, auto's wall time must be
-    within ``tolerance`` of ``min(scalar, vector)`` — i.e. the
-    resolution rule picked the right side of the crossover (or a side
-    that measurement cannot distinguish).  A violation means
-    :data:`repro.core.kernel.RA_CROSSOVER_REQUESTS` no longer matches
-    the machine's measured crossover.
+    Two-part crossover contract, per cell:
+
+    * ``auto <= scalar`` — hard, no tolerance.  Auto's pooled timing
+      (see :func:`bench_schedulers`) can only exceed scalar's when the
+      resolution picked a vector path that genuinely lost to scalar, so
+      any violation is a mis-resolution, not noise: every ``auto_speedup``
+      cell in the tracked baseline must be >= 1.0.
+    * ``auto`` within ``tolerance`` of ``min(scalar, vector)`` — the
+      resolution picked the right side of the crossover (or one
+      measurement cannot distinguish; NR's two kernels are
+      timing-identical and noise decides which fixed best lands lower).
+
+    A violation means :data:`repro.core.kernel.RA_CROSSOVER_REQUESTS`
+    no longer matches the machine's measured crossover.
 
     Raises:
         AssertionError: Listing every violating cell.
@@ -202,7 +254,14 @@ def check_auto(rows: Sequence[Dict],
         if auto is None or scalar_s is None or vector_s is None:
             continue
         best = min(scalar_s, vector_s)
-        if auto > best * (1.0 + tolerance):
+        if auto > scalar_s:
+            violations.append(
+                f"{row['policy']}@{row['num_flows']}: auto "
+                f"{1000 * auto:.1f}ms lost to scalar "
+                f"{1000 * scalar_s:.1f}ms (auto_speedup "
+                f"{scalar_s / auto:.3f} < 1.0 — resolution picked a "
+                f"losing kernel)")
+        elif auto > best * (1.0 + tolerance):
             violations.append(
                 f"{row['policy']}@{row['num_flows']}: auto "
                 f"{1000 * auto:.1f}ms vs best {1000 * best:.1f}ms "
@@ -294,6 +353,107 @@ def bench_remediation(flow_counts: Sequence[int], seed: int,
                     f"flows: {report.summary()}")
         rows.append(row)
     return rows
+
+
+#: Simulator-bench cells: reliability-style WUSTL workloads (1 s p2p
+#: flows on channels 11-14) at three scheduling pressures.
+SIMULATOR_FLOW_COUNTS = (20, 50, 80)
+QUICK_SIMULATOR_FLOW_COUNTS = (20,)
+
+#: Monte-Carlo repetitions per simulator cell (the reliability
+#: experiment's 100, so the tracked numbers speak for the real sweep).
+SIMULATOR_REPETITIONS = 100
+QUICK_SIMULATOR_REPETITIONS = 10
+
+
+def _sim_signature(stats) -> tuple:
+    """Order-insensitive comparable form of one SimulationStats."""
+    def bucket(counters) -> tuple:
+        return tuple(sorted(
+            (key, counter.attempts, counter.successes)
+            for key, counter in counters.items()))
+
+    return (
+        tuple(sorted(stats.flow_released.items())),
+        tuple(sorted(stats.flow_delivered.items())),
+        tuple((bucket(record.reuse), bucket(record.contention_free),
+               bucket(record.channels))
+              for record in stats.repetitions),
+    )
+
+
+def bench_simulator(flow_counts: Sequence[int], seed: int,
+                    sim_repetitions: int, timed_repetitions: int) -> Dict:
+    """Slot vs event vs batched simulator wall time per flow count.
+
+    Each cell builds one RC schedule on the WUSTL reliability setup
+    (1 s peer-to-peer flows, channels 11-14) and executes
+    ``sim_repetitions`` Monte-Carlo repetitions three ways:
+
+    * **slot** — the slot-driven scalar oracle;
+    * **event** — the event-driven engine forced to one repetition per
+      draw chunk (the event walk without cross-repetition batching);
+    * **batched** — the event engine's default memory-bounded chunking,
+      the path ``engine="auto"`` takes at experiment repetition counts.
+
+    All three are bit-identical by construction (the fuzz harness
+    asserts it per case); here the statistics of the timed runs are
+    cross-checked once per cell so a timing win can never mask a
+    divergence.  Timings are best-of-``timed_repetitions``,
+    interleaved like the scheduler cells.
+    """
+    from repro.experiments.reliability import build_reliability_flow_set
+    from repro.simulator.engine import SimulationConfig, TschSimulator
+    from repro.testbeds import make_wustl
+
+    topology, environment = make_wustl(seed)
+    network = prepare_network(topology, channels=(11, 12, 13, 14))
+    section: Dict = {"testbed": "wustl", "channels": [11, 12, 13, 14],
+                     "policy": "RC", "sim_repetitions": sim_repetitions,
+                     "cells": []}
+    for num_flows in flow_counts:
+        rng = np.random.default_rng(seed + num_flows)
+        flow_set = build_reliability_flow_set(
+            network, rng, flow_mix=((1.0, num_flows),))
+        result = schedule_workload(network, flow_set, "RC")
+        cell: Dict = {"num_flows": num_flows}
+        if not result.schedulable:
+            cell["skipped"] = "workload unschedulable"
+            section["cells"].append(cell)
+            continue
+        simulator = TschSimulator(
+            schedule=result.schedule, flow_set=flow_set,
+            environment=environment,
+            channel_map=network.topology.channel_map,
+            config=SimulationConfig(seed=seed + 4000 + num_flows))
+        modes = {"slot": dict(engine="slot"),
+                 "event": dict(engine="event", chunk_reps=1),
+                 "batched": dict(engine="event")}
+        best = {mode: float("inf") for mode in modes}
+        stats = {}
+        for _ in range(timed_repetitions):
+            for mode, kwargs in modes.items():
+                start = time.perf_counter()
+                stats[mode] = simulator.run(sim_repetitions, **kwargs)
+                best[mode] = min(best[mode],
+                                 time.perf_counter() - start)
+        reference = _sim_signature(stats["slot"])
+        for mode in ("event", "batched"):
+            if _sim_signature(stats[mode]) != reference:
+                raise AssertionError(
+                    f"simulator engine divergence at {num_flows} flows: "
+                    f"{mode} statistics differ from the slot oracle")
+        cell.update({
+            "slot": {"wall_s": best["slot"]},
+            "event": {"wall_s": best["event"]},
+            "batched": {"wall_s": best["batched"]},
+            "event_speedup": (best["slot"] / best["event"]
+                              if best["event"] > 0 else None),
+            "batched_speedup": (best["slot"] / best["batched"]
+                                if best["batched"] > 0 else None),
+        })
+        section["cells"].append(cell)
+    return section
 
 
 def bench_sweep_workers(seed: int, quick: bool,
@@ -502,6 +662,11 @@ def run_bench(out: str = DEFAULT_OUT, *, quick: bool = False,
         "remediation": bench_remediation(
             QUICK_REMEDIATION_FLOW_COUNTS if quick
             else REMEDIATION_FLOW_COUNTS, seed, repetitions),
+        "simulator": bench_simulator(
+            QUICK_SIMULATOR_FLOW_COUNTS if quick
+            else SIMULATOR_FLOW_COUNTS, seed,
+            QUICK_SIMULATOR_REPETITIONS if quick
+            else SIMULATOR_REPETITIONS, repetitions),
         "sweep_workers": bench_sweep_workers(seed, quick),
         "service": bench_service(seed, quick),
     }
@@ -514,6 +679,9 @@ def run_bench(out: str = DEFAULT_OUT, *, quick: bool = False,
     repair_speedups = {str(row["num_flows"]): row["speedup"]
                        for row in report["remediation"]
                        if row.get("speedup") is not None}
+    sim_speedups = {str(cell["num_flows"]): cell["batched_speedup"]
+                    for cell in report["simulator"]["cells"]
+                    if cell.get("batched_speedup") is not None}
     report["headline"] = {
         "rc_max_speedup": max(rc_speedups) if rc_speedups else None,
         "rc_speedups_by_flows": {
@@ -523,6 +691,9 @@ def run_bench(out: str = DEFAULT_OUT, *, quick: bool = False,
         "repair_speedups_by_flows": repair_speedups,
         "repair_max_speedup": (max(repair_speedups.values())
                                if repair_speedups else None),
+        "sim_batched_speedups_by_flows": sim_speedups,
+        "sim_batched_max_speedup": (max(sim_speedups.values())
+                                    if sim_speedups else None),
         "service_warm_speedup": report["service"].get("warm_speedup"),
         "service_rps_by_networks": {
             str(loop["networks"]): loop["rps"]
@@ -585,6 +756,18 @@ def append_history(report: Dict, path: str = DEFAULT_HISTORY) -> Dict:
         for row in report.get("remediation", []) if "repair" in row]
     if remediation:
         record["remediation"] = remediation
+    simulator = report.get("simulator")
+    if simulator and simulator.get("cells"):
+        record["simulator"] = {
+            "sim_repetitions": simulator["sim_repetitions"],
+            "cells": [{"num_flows": cell["num_flows"],
+                       "slot_s": cell["slot"]["wall_s"],
+                       "event_s": cell["event"]["wall_s"],
+                       "batched_s": cell["batched"]["wall_s"],
+                       "batched_speedup": cell["batched_speedup"]}
+                      for cell in simulator["cells"]
+                      if "slot" in cell],
+        }
     service = report.get("service")
     if service and service.get("loops"):
         record["service"] = {
@@ -630,6 +813,17 @@ def compare_bench(report: Dict, baseline: Dict,
                 if timing and timing.get("wall_s") is not None:
                     out[(row["num_flows"], "remediation", path)] = \
                         timing["wall_s"]
+        simulator = rep.get("simulator", {})
+        sim_reps = simulator.get("sim_repetitions")
+        for cell in simulator.get("cells", []):
+            for engine in ("slot", "event", "batched"):
+                timing = cell.get(engine)
+                if timing and timing.get("wall_s") is not None:
+                    # Repetition count in the key: a quick report's
+                    # 10-rep cell must not gate against the full
+                    # baseline's 100-rep cell of the same size.
+                    out[(cell["num_flows"], "simulator",
+                         f"{engine}x{sim_reps}")] = timing["wall_s"]
         for loop in rep.get("service", {}).get("loops", []):
             # Only p50 is gated (see SERVICE_REGRESSION_THRESHOLD);
             # keep it in seconds for uniform formatting.
@@ -696,6 +890,24 @@ def format_bench(report: Dict) -> str:
                 f"{1000 * row['repair']['wall_s']:>8.1f}ms "
                 f"{1000 * row['rebuild']['wall_s']:>8.1f}ms "
                 f"{row['speedup']:>7.2f}x")
+    simulator = report.get("simulator")
+    if simulator and simulator.get("cells"):
+        lines.append(
+            f"simulator ({simulator['sim_repetitions']} reps, "
+            f"{simulator['policy']} schedules, {simulator['testbed']}):")
+        lines.append(f"{'flows':>6} {'slot':>10} {'event':>10} "
+                     f"{'batched':>10} {'speedup':>8}")
+        for cell in simulator["cells"]:
+            if "skipped" in cell:
+                lines.append(f"{cell['num_flows']:>6} "
+                             f"skipped: {cell['skipped']}")
+                continue
+            lines.append(
+                f"{cell['num_flows']:>6} "
+                f"{1000 * cell['slot']['wall_s']:>8.1f}ms "
+                f"{1000 * cell['event']['wall_s']:>8.1f}ms "
+                f"{1000 * cell['batched']['wall_s']:>8.1f}ms "
+                f"{cell['batched_speedup']:>7.2f}x")
     sweep = report["sweep_workers"]
     walls = "  ".join(f"workers={w}: {t:.2f}s"
                       for w, t in sweep["wall_s_by_workers"].items())
@@ -727,6 +939,10 @@ def format_bench(report: Dict) -> str:
         lines.append(f"headline: single-victim repair up to "
                      f"{headline['repair_max_speedup']:.1f}x faster than "
                      f"the full rebuild")
+    if headline.get("sim_batched_max_speedup") is not None:
+        lines.append(f"headline: batched event simulator up to "
+                     f"{headline['sim_batched_max_speedup']:.1f}x faster "
+                     f"than the slot oracle")
     if headline.get("service_rps_by_networks"):
         best = max(v for v in
                    headline["service_rps_by_networks"].values()

@@ -122,7 +122,7 @@ def cmd_reliability(args: argparse.Namespace) -> int:
     outcomes = run_reliability(
         topology, environment, num_flow_sets=args.flow_sets,
         repetitions=args.repetitions, seed=args.seed or 0,
-        workers=args.workers)
+        workers=args.workers, engine=args.engine)
     print(f"{'set':>4} {'policy':>7} {'median':>7} {'worst':>7}")
     for outcome in outcomes:
         if not outcome.schedulable:
@@ -139,7 +139,7 @@ def cmd_detection(args: argparse.Namespace) -> int:
     outcomes = run_detection(
         topology, environment, _plan_for(args.testbed),
         num_flows=args.flows, num_epochs=args.epochs,
-        seed=args.seed or 0, workers=args.workers)
+        seed=args.seed or 0, workers=args.workers, engine=args.engine)
     for outcome in outcomes:
         rejected = outcome.rejected_links()
         accepted = outcome.accepted_links()
@@ -184,7 +184,8 @@ def _manager_config(args: argparse.Namespace):
         num_flows=flows, channels=tuple(args.channels),
         seed=args.seed or 0, warmup_epochs=warmup,
         confirm_epochs=confirm, cooldown_epochs=cooldown,
-        repair=not args.no_repair, slo=slo)
+        repair=not args.no_repair, slo=slo,
+        engine=getattr(args, "engine", "auto"))
 
 
 def _print_manager_report(report) -> None:
@@ -770,11 +771,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flow-sets", type=int, default=8)
     p.set_defaults(func=cmd_sweep)
 
+    def engine_opt(p):
+        p.add_argument("--engine", default="auto",
+                       choices=("slot", "event", "auto"),
+                       help="simulator engine (bit-identical results; "
+                            "'auto' picks by repetition count)")
+
     p = sub.add_parser("reliability", help="simulated PDR (Fig 8)")
     common(p)
     p.set_defaults(testbed="wustl")
     p.add_argument("--flow-sets", type=int, default=3)
     p.add_argument("--repetitions", type=int, default=50)
+    engine_opt(p)
     p.set_defaults(func=cmd_reliability)
 
     p = sub.add_parser("detection", help="K-S detection (Figs 10-11)")
@@ -782,6 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(testbed="wustl")
     p.add_argument("--flows", type=int, default=80)
     p.add_argument("--epochs", type=int, default=3)
+    engine_opt(p)
     p.set_defaults(func=cmd_detection)
 
     def manage_common(p):
@@ -824,6 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-repair", action="store_true",
                        help="disable incremental repair: remediate by "
                             "full rebuild only")
+        engine_opt(p)
 
     p = sub.add_parser("manage",
                        help="closed-loop manager under a fault scenario")

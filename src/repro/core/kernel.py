@@ -65,17 +65,23 @@ KERNEL_AUTO = "auto"
 #: Below this many transmission requests, RA runs faster under the
 #: scalar kernel: RA places each request once at a fixed ρ, so the
 #: vector kernel's per-``add`` incremental distance maintenance never
-#: amortizes the way RC's descending-ρ retries do.  The tracked
-#: benchmark (BENCH_schedulers.json) measures vector RA 1.2-1.5x
-#: *slower* than scalar across 20-70 flows (~2-8k requests); the
-#: threshold sits above the measured range, on the extrapolated
-#: crossover.  RC is the opposite story — vector wins 2.2-3.4x at
-#: every measured size, widening with load — and NR never queries reuse
+#: amortizes the way RC's descending-ρ retries do.  Interleaved
+#: median-of-7 re-measurement (Indriya, 5 channels, centralized)
+#: pinned the vector/scalar RA ratio at 1.26x @ 2.5k requests,
+#: 1.07x @ 5.5k, 1.12x @ 7.9k, and 1.24x @ 10.7k — scalar wins at
+#: every size the testbeds can actually schedule and the gap *widens*
+#: past ~6k, so no crossover is in reach; the original 16k threshold
+#: sat on an extrapolation the new data refutes.  The threshold now
+#: sits far above any schedulable workload, making auto resolve RA to
+#: scalar everywhere it has been measured while preserving the
+#: request-count escape hatch should a future kernel change flip the
+#: trend.  RC is the opposite story — vector wins 2.2-3.9x at every
+#: measured size, widening with load — and NR never queries reuse
 #: distances at all (ρ=∞ reduces to an empty-cell scan; the engine
 #: skips distance maintenance for it under either kernel), so auto
 #: resolves NR to scalar: the two are within noise and scalar is the
 #: path with nothing vectorized left to pay for.
-RA_CROSSOVER_REQUESTS = 16_000
+RA_CROSSOVER_REQUESTS = 32_000
 
 _ACTIVE = KERNEL_VECTOR
 

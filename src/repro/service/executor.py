@@ -28,6 +28,12 @@ Semantics per verb:
   (manager-style rollback) and reports ``schedulable: false``.
 * ``explain`` — the offline Section V-A constraint chain for one
   link × slot of the session's *current* schedule.
+* ``simulate`` — Monte-Carlo execute the session's *current* schedule
+  in the SINR simulator (slot / event / auto engine per request; the
+  engines are bit-identical, so the knob only trades wall time) and
+  return the PDR summary plus per-channel PRR.  The ground-truth
+  :class:`~repro.testbeds.synth.RadioEnvironment` is a fourth cached
+  artifact kind, keyed like the topology.
 * ``status`` — request, session, and cache counters.
 
 Every handled request is obs-visible when recording is enabled: a
@@ -109,6 +115,21 @@ def build_prepared(config: NetworkConfig) -> PreparedNetwork:
     return prepare_network(topology, num_channels=config.channels)
 
 
+def build_environment(config: NetworkConfig):
+    """The uncached RF-environment artifact for a config.
+
+    Re-runs the testbed factory and keeps the environment this time;
+    synthesis is deterministic in ``config.seed``, so the pair matches
+    the :func:`build_prepared` topology exactly.  Cached under the same
+    key as the topology (both depend only on testbed/seed/channels).
+    """
+    from repro.testbeds import make_indriya, make_wustl
+
+    factory = {"indriya": make_indriya, "wustl": make_wustl}[config.testbed]
+    _, environment = factory(config.seed)
+    return environment
+
+
 def build_flow_set(config: NetworkConfig,
                    prepared: PreparedNetwork) -> FlowSet:
     """The uncached workload artifact for a config."""
@@ -184,6 +205,8 @@ class ServiceExecutor:
                 result = self._reschedule(request)
             elif request.verb == "explain":
                 result = self._explain(request)
+            elif request.verb == "simulate":
+                result = self._simulate(request)
             elif request.verb == "status":
                 result = self.status()
             else:
@@ -343,6 +366,50 @@ class ServiceExecutor:
                              sender, receiver, request.slot, rho)
         return {"lines": list(lines), "rho_t": None if rho == math.inf
                 else rho}
+
+    def _simulate(self, request: Request) -> Dict:
+        from repro.simulator.engine import (
+            SimulationConfig,
+            TschSimulator,
+            resolve_engine,
+        )
+
+        session = self._session(request)
+        if not session.schedulable:
+            raise ServiceError(
+                f"network {request.network!r} has no live schedule to "
+                f"simulate (last compile/repair failed)")
+        config = session.config
+        environment, env_verdict = self.cache.get_or_build(
+            "environment", config.topology_hash(),
+            lambda: build_environment(config))
+        # A client-chosen seed makes runs reproducible across requests;
+        # the default derives from the network config so two networks
+        # sharing a topology still draw distinct fading.
+        sim_seed = request.sim_seed if request.sim_seed is not None \
+            else config.seed + 7000
+        engine = request.engine or "auto"
+        repetitions = request.repetitions or 18
+        simulator = TschSimulator(
+            schedule=session.schedule, flow_set=session.flow_set,
+            environment=environment,
+            channel_map=session.prepared.topology.channel_map,
+            config=SimulationConfig(seed=sim_seed, engine=engine))
+        stats = simulator.run(repetitions)
+        per_flow = stats.pdr_per_flow()
+        return {
+            "repetitions": repetitions,
+            "engine": resolve_engine(engine, repetitions),
+            "seed": sim_seed,
+            "schedule_hash": session.schedule.canonical_hash(),
+            "median_pdr": stats.median_pdr(),
+            "worst_pdr": stats.worst_pdr(),
+            "per_flow_pdr": {str(flow): pdr
+                             for flow, pdr in sorted(per_flow.items())},
+            "channel_prr": {str(channel): prr for channel, prr in
+                            sorted(stats.channel_prr().items())},
+            "cache": {"environment": env_verdict},
+        }
 
     # -- introspection ---------------------------------------------------
 

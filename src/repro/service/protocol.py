@@ -43,10 +43,17 @@ from typing import Dict, List, Optional, Tuple
 from repro.obs.ledger import config_hash
 
 #: Verbs executed by a worker (shard-routed on the network name).
-WORKER_VERBS = ("schedule", "reschedule", "explain")
+WORKER_VERBS = ("schedule", "reschedule", "explain", "simulate")
 #: Verbs answered by the front-end (aggregated over every worker).
 CONTROL_VERBS = ("status", "metrics", "ping")
 VERBS = WORKER_VERBS + CONTROL_VERBS
+
+#: Simulator engines a ``simulate`` request may name.
+SIM_ENGINES = ("slot", "event", "auto")
+
+#: Hard cap on repetitions per ``simulate`` request — a worker is
+#: shared; long Monte-Carlo sweeps belong in the experiment CLIs.
+MAX_SIM_REPETITIONS = 1000
 
 
 class ProtocolError(ValueError):
@@ -149,6 +156,9 @@ class Request:
     link: Optional[Tuple[int, int]] = None
     slot: Optional[int] = None
     include_schedule: bool = False
+    repetitions: Optional[int] = None
+    engine: Optional[str] = None
+    sim_seed: Optional[int] = None
     raw: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
@@ -166,6 +176,12 @@ class Request:
             payload["slot"] = self.slot
         if self.include_schedule:
             payload["include_schedule"] = True
+        if self.repetitions is not None:
+            payload["repetitions"] = self.repetitions
+        if self.engine is not None:
+            payload["engine"] = self.engine
+        if self.sim_seed is not None:
+            payload["seed"] = self.sim_seed
         return payload
 
 
@@ -218,6 +234,25 @@ def parse_request(data) -> Request:
             request.slot = int(data["slot"])
         except (KeyError, TypeError, ValueError):
             raise ProtocolError("explain needs an integer 'slot'")
+    elif verb == "simulate":
+        try:
+            request.repetitions = int(data.get("repetitions", 18))
+        except (TypeError, ValueError):
+            raise ProtocolError("repetitions must be an integer")
+        if not 1 <= request.repetitions <= MAX_SIM_REPETITIONS:
+            raise ProtocolError(
+                f"repetitions must be in [1, {MAX_SIM_REPETITIONS}]")
+        request.engine = str(data.get("engine", "auto"))
+        if request.engine not in SIM_ENGINES:
+            raise ProtocolError(
+                f"engine must be one of {list(SIM_ENGINES)}")
+        if data.get("seed") is not None:
+            try:
+                request.sim_seed = int(data["seed"])
+            except (TypeError, ValueError):
+                raise ProtocolError("seed must be an integer")
+            if request.sim_seed < 0:
+                raise ProtocolError("seed must be non-negative")
     return request
 
 

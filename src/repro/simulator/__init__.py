@@ -1,6 +1,28 @@
-"""Slot-driven TSCH network simulator with SINR-based reception."""
+"""TSCH network simulator with SINR-based reception.
 
-from repro.simulator.engine import SimulationConfig, TschSimulator
+Two engines share one pinned random-draw plan and produce bit-identical
+statistics: the slot-driven oracle (:class:`TschSimulator` with
+``engine="slot"``) and the event-driven batched engine
+(:mod:`repro.simulator.events`, ``engine="event"``) that vectorizes all
+Monte-Carlo repetitions per scheduled slot.  ``engine="auto"`` picks by
+repetition count.
+"""
+
+from repro.simulator.engine import (
+    ENGINE_AUTO,
+    ENGINE_EVENT,
+    ENGINE_SLOT,
+    ENGINES,
+    EVENT_MIN_REPETITIONS,
+    SimulationConfig,
+    TschSimulator,
+    resolve_engine,
+)
+from repro.simulator.events import (
+    DrawPlan,
+    build_draw_plan,
+    repetition_draws,
+)
 from repro.simulator.interference import (
     WIFI_INBAND_FRACTION_DB,
     WifiInterferer,
@@ -15,12 +37,20 @@ from repro.simulator.radio import (
 )
 from repro.simulator.stats import (
     AttemptCounter,
+    BatchedAccumulator,
     RepetitionRecord,
     SimulationStats,
 )
 
 __all__ = [
     "AttemptCounter",
+    "BatchedAccumulator",
+    "DrawPlan",
+    "ENGINES",
+    "ENGINE_AUTO",
+    "ENGINE_EVENT",
+    "ENGINE_SLOT",
+    "EVENT_MIN_REPETITIONS",
     "PrrLookup",
     "ReceptionDecision",
     "RepetitionRecord",
@@ -29,8 +59,11 @@ __all__ = [
     "TschSimulator",
     "WIFI_INBAND_FRACTION_DB",
     "WifiInterferer",
+    "build_draw_plan",
     "decide_reception",
     "interferer_rssi_matrix",
     "place_interferer_pairs",
+    "repetition_draws",
+    "resolve_engine",
     "sinr_at_receiver",
 ]

@@ -15,6 +15,21 @@ environment of a synthetic testbed:
   mutates the environment for one run — extra interferers, per-pair
   attenuation, amplified reuse interference, dark nodes — which is how
   the network manager injects faults between health-report epochs.
+
+Two engines execute the same model (``engine="slot" | "event" | "auto"``):
+
+* **slot** — the pure-python oracle in this module: one repetition at a
+  time, one entry at a time.
+* **event** — the batched engine in :mod:`repro.simulator.events`: all
+  repetitions advance together through vectorized numpy passes over the
+  scheduled slots.
+
+Both consume the same pinned draw plan (:class:`repro.simulator.events.
+DrawPlan`): repetition ``g = start_repetition + r`` owns the substream
+``np.random.default_rng([seed, g])`` and every draw has a fixed,
+outcome-independent position, so the engines agree bit-for-bit on stats
+and a run may be split across epochs (or batch chunks) without changing
+a single outcome.
 """
 
 from __future__ import annotations
@@ -31,11 +46,46 @@ from repro.mac.channels import ChannelMap
 from repro.obs import recorder as _obs
 from repro.obs.profiling import timed as _timed
 from repro.simulator.conditions import Conditions
+from repro.simulator.events import (
+    DrawPlan,
+    build_draw_plan,
+    repetition_draws,
+    run_event_batched,
+)
 from repro.simulator.interference import WifiInterferer
 from repro.propagation.prr_model import get_prr_curve
 from repro.simulator.radio import sinr_at_receiver
 from repro.simulator.stats import SimulationStats
 from repro.testbeds.synth import RadioEnvironment
+
+#: Engine names accepted by :meth:`TschSimulator.run` and
+#: :class:`SimulationConfig.engine`.
+ENGINE_SLOT = "slot"
+ENGINE_EVENT = "event"
+ENGINE_AUTO = "auto"
+ENGINES = (ENGINE_SLOT, ENGINE_EVENT, ENGINE_AUTO)
+
+#: Below this many repetitions the batched engine's per-slot array setup
+#: costs more than it saves (measured breakeven is 3-4 repetitions on
+#: WUSTL-sized schedules at 20-80 flows); ``auto`` keeps short probes on
+#: the python oracle.
+EVENT_MIN_REPETITIONS = 4
+
+
+def resolve_engine(engine: str, repetitions: int) -> str:
+    """Resolve an engine request to a concrete engine name.
+
+    ``auto`` batches whenever the run has enough repetitions to amortize
+    array setup; explicit names pass through.
+    """
+    if engine == ENGINE_SLOT or engine == ENGINE_EVENT:
+        return engine
+    if engine != ENGINE_AUTO:
+        raise ValueError(
+            f"engine must be one of {ENGINES}, got {engine!r}")
+    if repetitions >= EVENT_MIN_REPETITIONS:
+        return ENGINE_EVENT
+    return ENGINE_SLOT
 
 
 @dataclass(frozen=True)
@@ -44,7 +94,11 @@ class SimulationConfig:
 
     Attributes:
         seed: Seed for all stochastic draws (fading, reception, interferer
-            activity).
+            activity).  Repetition ``g`` draws from the substream
+            ``default_rng([seed, g])`` where ``g`` is the *global*
+            repetition index (``start_repetition + r``), so outcomes
+            depend only on ``(seed, g)`` — not on how a run is split
+            across epochs or batches.
         fast_fading_sigma_db: Per-attempt multipath fading applied to
             every signal and interference power.
         slow_fading_sigma_db: Per-repetition, per-node-pair gain drift —
@@ -52,6 +106,10 @@ class SimulationConfig:
             time, over timescales longer than one hyperperiod.
         frame_bytes: Frame size for the PRR lookup (defaults to the
             environment's).
+        engine: Execution engine — ``"slot"`` (python oracle),
+            ``"event"`` (batched numpy), or ``"auto"`` (pick by
+            repetition count).  Engines produce bit-identical stats;
+            this only trades wall time.
 
     Consistency contract: the testbed's *measured* PRRs are expectations
     of the raw 802.15.4 curve over fading
@@ -67,6 +125,12 @@ class SimulationConfig:
     fast_fading_sigma_db: float = 3.0
     slow_fading_sigma_db: float = 2.0
     frame_bytes: Optional[int] = None
+    engine: str = ENGINE_AUTO
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}")
 
     def total_fading_sigma_db(self) -> float:
         """Aggregate long-run fading spread (for the consistency contract)."""
@@ -99,6 +163,13 @@ class _CompiledEntry:
 _COMPILE_CACHE: "weakref.WeakKeyDictionary[Schedule, Tuple[int, Dict[int, List[_CompiledEntry]]]]" = (
     weakref.WeakKeyDictionary())
 
+#: Draw-plan cache: schedule -> {(entry count, interferer count): plan}.
+#: The plan depends only on the compiled entries and how many interferers
+#: the simulator carries (conditions may add some), so epochs that differ
+#: only in attenuation/dark-node overlays share one plan.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[Schedule, Dict[Tuple[int, int], DrawPlan]]" = (
+    weakref.WeakKeyDictionary())
+
 
 def _compile(schedule: Schedule) -> Dict[int, List[_CompiledEntry]]:
     """Pre-resolve schedule entries per slot for the hot loop."""
@@ -129,6 +200,22 @@ def compiled_entries(schedule: Schedule) -> Dict[int, List[_CompiledEntry]]:
     compiled = _compile(schedule)
     _COMPILE_CACHE[schedule] = (len(schedule), compiled)
     return compiled
+
+
+def _draw_plan(schedule: Schedule,
+               compiled: Dict[int, List[_CompiledEntry]],
+               num_interferers: int) -> DrawPlan:
+    """The schedule's draw plan, cached alongside the compilation."""
+    plans = _PLAN_CACHE.get(schedule)
+    if plans is None:
+        plans = {}
+        _PLAN_CACHE[schedule] = plans
+    key = (len(schedule), num_interferers)
+    plan = plans.get(key)
+    if plan is None:
+        plan = build_draw_plan(compiled, num_interferers)
+        plans[key] = plan
+    return plan
 
 
 class TschSimulator:
@@ -203,15 +290,76 @@ class TschSimulator:
         env_index = environment.channel_map.index_map()
         self._env_channel_index = {
             ch: env_index[ch] for ch in channel_map}
+        # Same mapping keyed by logical channel index, in array form for
+        # the batched engine.
+        self._env_of_logical = np.array(
+            [env_index[channel_map.physical(logical)]
+             for logical in range(len(channel_map))], dtype=np.intp)
 
         # Which 802.15.4 channels each interferer pollutes.
         self._interferer_channels = [set(i.affected_channels())
                                      for i in self.interferers]
 
         self._compiled = compiled_entries(schedule)
+        self._plan = _draw_plan(schedule, self._compiled,
+                                len(self.interferers))
+        self._events = None  # lazy batched compilation
+
+    # -- shared-model views consumed by the event engine ---------------
+
+    @property
+    def compiled(self) -> Dict[int, List[_CompiledEntry]]:
+        """Per-slot compiled entries (the event timeline)."""
+        return self._compiled
+
+    @property
+    def draw_plan(self) -> DrawPlan:
+        """The pinned draw layout both engines index into."""
+        return self._plan
+
+    @property
+    def hyperperiod(self) -> int:
+        """Slots per repetition."""
+        return self._hyperperiod
+
+    @property
+    def flow_hops(self) -> Dict[int, int]:
+        """Hops per flow (delivery happens at the last one)."""
+        return self._flow_hops
+
+    @property
+    def instances_per_flow(self) -> Dict[int, int]:
+        """Released packet instances per flow per repetition."""
+        return self._instances_per_flow
+
+    @property
+    def lookup(self):
+        """The raw SINR -> PRR curve."""
+        return self._lookup
+
+    @property
+    def env_of_logical(self) -> np.ndarray:
+        """Logical channel index -> environment RSSI channel index."""
+        return self._env_of_logical
+
+    @property
+    def interferer_channel_sets(self) -> List[set]:
+        """Per-interferer sets of polluted physical channels."""
+        return self._interferer_channels
+
+    def event_tables(self):
+        """Batched per-slot event arrays, compiled on first use."""
+        if self._events is None:
+            from repro.simulator.events import compile_events
+            self._events = compile_events(self)
+        return self._events
+
+    # -- execution ------------------------------------------------------
 
     def run(self, repetitions: int = 100,
-            start_repetition: int = 0) -> SimulationStats:
+            start_repetition: int = 0,
+            engine: Optional[str] = None,
+            chunk_reps: Optional[int] = None) -> SimulationStats:
         """Execute the schedule ``repetitions`` times.
 
         Each repetition replays one full hyperperiod with a fresh release
@@ -225,17 +373,38 @@ class TschSimulator:
                 hyperperiod.  The manager loop advances this across
                 epochs so the ASN (and hence the hop pattern) keeps
                 progressing even though each epoch builds a fresh
-                simulator.
+                simulator.  Repetition substreams are keyed on the
+                global index, so splitting a run across epochs changes
+                nothing.
+            engine: Override the config's execution engine for this run
+                (``"slot"``, ``"event"``, or ``"auto"``).
+            chunk_reps: Batched-engine repetitions per chunk (memory
+                knob; never changes results).  Ignored by the slot
+                engine.
         """
         if repetitions <= 0:
             raise ValueError("repetitions must be positive")
+        resolved = resolve_engine(
+            engine if engine is not None else self.config.engine,
+            repetitions)
         with _timed("phase.simulate"):
+            if _obs.ENABLED:
+                _obs.RECORDER.count(f"sim.runs.{resolved}")
+            if resolved == ENGINE_EVENT:
+                return run_event_batched(self, repetitions,
+                                         start_repetition,
+                                         chunk_reps=chunk_reps)
             return self._run(repetitions, start_repetition)
 
     def _run(self, repetitions: int, start_repetition: int) -> SimulationStats:
-        rng = np.random.default_rng(self.config.seed)
+        """The slot-driven python oracle.
+
+        Consumes the pinned draw plan positionally — no inline RNG calls
+        — so its per-repetition outcomes are exactly reproducible by the
+        batched event engine.
+        """
+        plan = self._plan
         stats = SimulationStats()
-        sorted_slots = sorted(self._compiled)
         num_logical = len(self.channel_map)
         fading_sigma = self.config.fast_fading_sigma_db
         rssi = self.environment.rssi_dbm
@@ -245,44 +414,47 @@ class TschSimulator:
         attenuation = self.conditions.pair_attenuation_db
         boost = self.conditions.interference_boost_db
         dark = self.conditions.dark_nodes
+        num_interferers = len(self.interferers)
+        duty_cycles = [i.duty_cycle for i in self.interferers]
 
         for repetition in range(repetitions):
+            normals, uniforms = repetition_draws(
+                plan, self.config.seed, start_repetition + repetition)
             record = stats.start_repetition()
             progress: Dict[Tuple[int, int], int] = {}
-            slow_fading: Dict[Tuple[int, int], float] = {}
             # Per-repetition tallies for the observability layer; plain
             # local ints so the disabled path costs nothing measurable.
             recorder = _obs.RECORDER if _obs.ENABLED else None
             rep_attempts = rep_successes = rep_deliveries = 0
             link_outcomes: Dict[Tuple[int, int], List[int]] = {}
 
-            def pair_drift(a: int, b: int) -> float:
-                """Per-repetition slow fading for an (unordered) node pair."""
-                if slow_sigma == 0.0:
-                    return 0.0
-                key = (a, b) if a < b else (b, a)
-                drift = slow_fading.get(key)
-                if drift is None:
-                    drift = float(rng.normal(0.0, slow_sigma))
-                    slow_fading[key] = drift
-                return drift
-
             for flow_id, count in self._instances_per_flow.items():
                 stats.record_release(flow_id, count)
 
             base_asn = (start_repetition + repetition) * self._hyperperiod
-            for slot in sorted_slots:
-                active = [
-                    entry for entry in self._compiled[slot]
-                    if progress.get((entry.flow_id, entry.instance), 0)
+            for slot_pos, slot in enumerate(plan.slots):
+                entries = self._compiled[slot]
+                active_flags = [
+                    progress.get((entry.flow_id, entry.instance), 0)
                     == entry.hop_index
+                    for entry in entries
                 ]
-                if not active:
+                if not any(active_flags):
                     continue
                 asn = base_asn + slot
 
-                by_channel: Dict[int, List[_CompiledEntry]] = {}
-                for entry in active:
+                uniform_base = plan.uniform_offsets[slot_pos]
+                active_interferers = [
+                    i for i in range(num_interferers)
+                    if uniforms[uniform_base + i] < duty_cycles[i]
+                ]
+                logicals = [(asn + entry.offset) % num_logical
+                            for entry in entries]
+
+                for entry_pos, entry in enumerate(entries):
+                    if not active_flags[entry_pos]:
+                        continue
+                    link = (entry.sender, entry.receiver)
                     if entry.sender in dark:
                         # A powered-off sender never puts the frame on
                         # the air: the attempt fails without radiating.
@@ -290,73 +462,72 @@ class TschSimulator:
                         # tallies must count it exactly like the stats
                         # record does (a dark *receiver* flows through
                         # the normal path below and is counted in both).
-                        record.record((entry.sender, entry.receiver),
-                                      entry.shared_cell, False)
+                        record.record(link, entry.shared_cell, False)
                         if recorder is not None:
                             rep_attempts += 1
-                            link_outcomes.setdefault(
-                                (entry.sender, entry.receiver),
-                                [0, 0])[0] += 1
+                            link_outcomes.setdefault(link, [0, 0])[0] += 1
                         continue
-                    logical = (asn + entry.offset) % num_logical
+                    logical = logicals[entry_pos]
                     channel = self.channel_map.physical(logical)
-                    by_channel.setdefault(channel, []).append(entry)
-
-                active_interferers = [
-                    i for i, interferer in enumerate(self.interferers)
-                    if rng.random() < interferer.duty_cycle
-                ]
-
-                for channel, concurrent in by_channel.items():
                     env_channel = self._env_channel_index[channel]
-                    for entry in concurrent:
-                        signal = (rssi[entry.sender, entry.receiver,
-                                       env_channel]
-                                  + pair_drift(entry.sender, entry.receiver)
-                                  + rng.normal(0.0, fading_sigma)
-                                  - attenuation.get(
-                                      (entry.sender, entry.receiver), 0.0))
-                        interference = []
-                        for other in concurrent:
-                            if other is entry:
-                                continue
+                    signal = (rssi[entry.sender, entry.receiver, env_channel]
+                              + slow_sigma * normals[
+                                  plan.drift_index(entry.sender,
+                                                   entry.receiver)]
+                              + fading_sigma * normals[
+                                  plan.signal_fast_index(slot_pos,
+                                                         entry_pos)]
+                              - attenuation.get(link, 0.0))
+                    interference = []
+                    for other_pos, other in enumerate(entries):
+                        if (other_pos == entry_pos
+                                or not active_flags[other_pos]
+                                or other.sender in dark
+                                or logicals[other_pos] != logical):
+                            continue
+                        interference.append(
+                            rssi[other.sender, entry.receiver, env_channel]
+                            + slow_sigma * normals[
+                                plan.drift_index(other.sender,
+                                                 entry.receiver)]
+                            + fading_sigma * normals[
+                                plan.interference_fast_index(
+                                    slot_pos, entry_pos, other_pos)]
+                            + boost
+                            - attenuation.get(
+                                (other.sender, entry.receiver), 0.0))
+                    for index in active_interferers:
+                        if channel in self._interferer_channels[index]:
                             interference.append(
-                                rssi[other.sender, entry.receiver,
-                                     env_channel]
-                                + pair_drift(other.sender, entry.receiver)
-                                + rng.normal(0.0, fading_sigma)
-                                + boost
-                                - attenuation.get(
-                                    (other.sender, entry.receiver), 0.0))
-                        for index in active_interferers:
-                            if channel in self._interferer_channels[index]:
-                                interference.append(
-                                    self.interferer_rssi_dbm[
-                                        index, entry.receiver]
-                                    + rng.normal(0.0, fading_sigma))
+                                self.interferer_rssi_dbm[
+                                    index, entry.receiver]
+                                + fading_sigma * normals[
+                                    plan.interferer_fast_index(
+                                        slot_pos, index, entry_pos)])
 
-                        sinr = sinr_at_receiver(signal, noise, interference)
-                        if entry.receiver in dark:
-                            success = False
-                        else:
-                            success = rng.random() < self._lookup(sinr)
-                        record.record((entry.sender, entry.receiver),
-                                      entry.shared_cell, success,
-                                      channel=channel)
-                        if recorder is not None:
-                            rep_attempts += 1
-                            rep_successes += success
-                            tally = link_outcomes.setdefault(
-                                (entry.sender, entry.receiver), [0, 0])
-                            tally[0] += 1
-                            tally[1] += success
-                        if success:
-                            key = (entry.flow_id, entry.instance)
-                            progress[key] = entry.hop_index + 1
-                            if progress[key] == self._flow_hops[entry.flow_id]:
-                                stats.record_delivery(entry.flow_id)
-                                if recorder is not None:
-                                    rep_deliveries += 1
+                    sinr = sinr_at_receiver(signal, noise, interference)
+                    if entry.receiver in dark:
+                        success = False
+                    else:
+                        success = bool(
+                            uniforms[plan.reception_uniform_index(
+                                slot_pos, entry_pos)]
+                            < self._lookup(sinr))
+                    record.record(link, entry.shared_cell, success,
+                                  channel=channel)
+                    if recorder is not None:
+                        rep_attempts += 1
+                        rep_successes += success
+                        tally = link_outcomes.setdefault(link, [0, 0])
+                        tally[0] += 1
+                        tally[1] += success
+                    if success:
+                        key = (entry.flow_id, entry.instance)
+                        progress[key] = entry.hop_index + 1
+                        if progress[key] == self._flow_hops[entry.flow_id]:
+                            stats.record_delivery(entry.flow_id)
+                            if recorder is not None:
+                                rep_deliveries += 1
 
             if recorder is not None:
                 recorder.count("sim.repetitions")

@@ -36,7 +36,13 @@ and, for each case:
   ``sim.attempts`` / ``sim.successes`` / ``sim.deliveries`` equal the
   :class:`~repro.simulator.stats.SimulationStats` totals (with and
   without dark nodes), an enabled recorder does not perturb results,
-  and an empty ``Conditions()`` overlay is equivalent to no overlay.
+  and an empty ``Conditions()`` overlay is equivalent to no overlay;
+* asserts **bit-identical simulation statistics** between the
+  slot-driven oracle and the batched event engine
+  (:mod:`repro.simulator.events`) — clean and under every overlay axis
+  (dark senders, an interferer burst, per-pair drift + reuse boost) —
+  and that the event engine's results are invariant to its
+  repetition-chunk size.
 
 Everything is derived from ``(seed, case_index)``, so a failing case's
 JSON artifact pins the exact network, workload, and draw sequence:
@@ -65,8 +71,10 @@ from repro.obs.provenance import ProvenanceRecorder
 from repro.obs.recorder import Recorder
 from repro.routing.shortest_path import NoRouteError
 from repro.routing.traffic import TrafficType
+from repro.network.node import Position
 from repro.simulator.conditions import Conditions
 from repro.simulator.engine import SimulationConfig, TschSimulator
+from repro.simulator.interference import WifiInterferer
 from repro.simulator.stats import SimulationStats
 from repro.testbeds.layout import FloorPlan
 from repro.testbeds.synth import RadioEnvironment, make_testbed
@@ -472,6 +480,63 @@ def _check_simulator(case: FuzzCaseResult, network: PreparedNetwork,
                           f"stats total is {expected}")
 
 
+def _check_sim_batched(case: FuzzCaseResult, network: PreparedNetwork,
+                       environment: RadioEnvironment, flow_set: FlowSet,
+                       result: SchedulingResult, sim_seed: int) -> None:
+    """Event-vs-slot engine parity on one schedulable result.
+
+    The batched event engine must reproduce the slot-driven oracle's
+    statistics bit for bit — clean, and under every overlay axis (dark
+    senders, an interferer burst, per-pair drift plus a reuse boost) —
+    and, because repetitions draw from independent ``(seed, rep)``
+    substreams, its results must not depend on how the repetitions are
+    chunked into draw matrices.
+    """
+    schedule = result.schedule
+    channel_map = network.topology.channel_map
+    num_nodes = network.topology.num_nodes
+
+    def simulate(engine: str, conditions: Optional[Conditions],
+                 chunk_reps: Optional[int] = None) -> SimulationStats:
+        return TschSimulator(
+            schedule=schedule, flow_set=flow_set, environment=environment,
+            channel_map=channel_map,
+            config=SimulationConfig(seed=sim_seed, engine=engine),
+            conditions=conditions).run(_SIM_REPETITIONS,
+                                       chunk_reps=chunk_reps)
+
+    overlays: List[Tuple[str, Optional[Conditions]]] = [("clean", None)]
+    senders = sorted({entry.request.sender for entry in schedule.entries})
+    if senders:
+        overlays.append(("dark_senders",
+                         Conditions(dark_nodes=frozenset(senders[:2]))))
+    burst = WifiInterferer(position=Position(0.0, 0.0, 0.0),
+                           wifi_channel=1, duty_cycle=0.6)
+    overlays.append(("interferer_burst", Conditions(
+        extra_interferers=(burst,),
+        extra_interferer_rssi_dbm=np.full((1, num_nodes), -55.0))))
+    if len(schedule):
+        request = schedule.entries[0].request
+        overlays.append(("pair_drift", Conditions(
+            pair_attenuation_db={
+                (request.sender, request.receiver): 6.0,
+                (request.receiver, request.sender): 6.0},
+            interference_boost_db=3.0)))
+
+    for label, conditions in overlays:
+        slot_sig = _stats_signature(simulate("slot", conditions))
+        event_sig = _stats_signature(simulate("event", conditions))
+        if event_sig != slot_sig:
+            case.fail("sim_batched_parity",
+                      f"{label}: event engine diverged from the slot "
+                      f"oracle")
+
+    if _stats_signature(simulate("event", None, chunk_reps=1)) != \
+            _stats_signature(simulate("event", None)):
+        case.fail("sim_batched_chunks",
+                  "event-engine results changed with chunk_reps=1")
+
+
 def _audit_repaired(case: FuzzCaseResult, check: str, label: str,
                     network: PreparedNetwork, flow_set: FlowSet,
                     schedule, rho_floor: float, barred) -> None:
@@ -584,6 +649,8 @@ def run_case(index: int, seed: int) -> FuzzCaseResult:
         _check_repair(case, network, flow_set, params["rho_t"], schedulable)
         _check_simulator(case, network, environment, flow_set, schedulable,
                          params["sim_seed"])
+        _check_sim_batched(case, network, environment, flow_set,
+                           schedulable, params["sim_seed"])
     return case
 
 

@@ -44,6 +44,16 @@ class TestBench:
         assert cell["speedup"] > 1.0
         assert report["headline"]["repair_max_speedup"] == cell["speedup"]
 
+        simulator = report["simulator"]
+        assert simulator["sim_repetitions"] == 10
+        cells = [cell for cell in simulator["cells"] if "slot" in cell]
+        assert cells, "quick simulator bench produced no timed cell"
+        for cell in cells:
+            assert cell["slot"]["wall_s"] > 0
+            assert cell["event"]["wall_s"] > 0
+            assert cell["batched"]["wall_s"] > 0
+            assert cell["batched_speedup"] > 0
+
         sweep = report["sweep_workers"]
         assert sweep["outcomes_identical"] is True
         assert set(sweep["wall_s_by_workers"]) == {"1", "4"}
@@ -80,7 +90,9 @@ def _auto_row(policy="RA", flows=20, scalar=1.0, vector=2.0, auto=1.0):
 
 class TestCheckAuto:
     def test_passes_within_tolerance(self):
-        check_auto([_auto_row(auto=1.1)], tolerance=0.15)  # 10% over best
+        # 5% over the best fixed kernel, and not losing to scalar.
+        check_auto([_auto_row(scalar=2.0, vector=1.0, auto=1.05)],
+                   tolerance=0.15)
 
     def test_violation_lists_the_cell(self):
         import pytest
@@ -93,6 +105,17 @@ class TestCheckAuto:
         message = str(err.value)
         assert "RC@50" in message
         assert "RA@20" not in message
+
+    def test_losing_to_scalar_is_hard_flagged(self):
+        """auto > scalar is a mis-resolution even inside the vs-best
+        tolerance: pooled auto timings only exceed scalar's when the
+        resolution picked a genuinely slower vector path."""
+        import pytest
+
+        with pytest.raises(AssertionError) as err:
+            check_auto([_auto_row(scalar=1.0, vector=2.0, auto=1.1)],
+                       tolerance=0.5)
+        assert "auto_speedup" in str(err.value)
 
     def test_skips_rows_without_all_three_kernels(self):
         # Pre-auto history rows lack the auto cell entirely.

@@ -1,0 +1,305 @@
+"""Tests for the event-driven batched simulator core (repro.simulator.events).
+
+The contract under test: both engines consume one pinned, outcome-
+independent draw plan per repetition, so the batched event engine is
+bit-identical to the slot oracle — per run, per epoch, and regardless of
+how repetitions are chunked into draw matrices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.flows.flow import Flow, FlowSet
+from repro.mac.channels import ChannelMap
+from repro.simulator import (
+    ENGINE_AUTO,
+    ENGINE_EVENT,
+    ENGINE_SLOT,
+    EVENT_MIN_REPETITIONS,
+    SimulationConfig,
+    TschSimulator,
+    build_draw_plan,
+    repetition_draws,
+    resolve_engine,
+)
+from repro.simulator.conditions import Conditions
+from repro.testbeds.synth import RadioEnvironment
+
+from test_core_schedule import request
+from test_simulator import tiny_environment, tiny_flow_and_schedule
+
+
+def signature(stats):
+    """Everything two equivalent runs must agree on (mirrors the fuzz
+    comparator): end-to-end flow counts plus every repetition's per-link
+    and per-channel attempt counters."""
+    def bucket(counters):
+        return tuple(sorted((key, c.attempts, c.successes)
+                            for key, c in counters.items()))
+
+    return (
+        tuple(sorted(stats.flow_released.items())),
+        tuple(sorted(stats.flow_delivered.items())),
+        tuple((bucket(record.reuse), bucket(record.contention_free),
+               bucket(record.channels))
+              for record in stats.repetitions),
+    )
+
+
+def tiny_simulator(seed=5, **config_kwargs):
+    flow_set, schedule = tiny_flow_and_schedule()
+    env = tiny_environment()
+    return TschSimulator(schedule, flow_set, env, env.channel_map,
+                         config=SimulationConfig(seed=seed, **config_kwargs))
+
+
+# ----------------------------------------------------------------------
+# Engine resolution
+# ----------------------------------------------------------------------
+
+class TestEngineResolution:
+    def test_fixed_engines_resolve_to_themselves(self):
+        assert resolve_engine(ENGINE_SLOT, 1000) == ENGINE_SLOT
+        assert resolve_engine(ENGINE_EVENT, 1) == ENGINE_EVENT
+
+    def test_auto_switches_at_the_repetition_floor(self):
+        assert resolve_engine(ENGINE_AUTO,
+                              EVENT_MIN_REPETITIONS - 1) == ENGINE_SLOT
+        assert resolve_engine(ENGINE_AUTO,
+                              EVENT_MIN_REPETITIONS) == ENGINE_EVENT
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_engine("bogus", 10)
+        with pytest.raises(ValueError):
+            SimulationConfig(engine="bogus")
+
+    def test_run_override_beats_config(self):
+        sim = tiny_simulator(engine=ENGINE_SLOT)
+        # Same seed, same draws — only the execution strategy differs.
+        assert signature(sim.run(6, engine=ENGINE_EVENT)) == \
+            signature(sim.run(6))
+
+
+# ----------------------------------------------------------------------
+# Golden trace: the pinned draw layout
+# ----------------------------------------------------------------------
+
+class TestDrawPlan:
+    def test_repetition_draws_golden_trace(self):
+        """A repetition's entire stochastic state is exactly two
+        vectorized draws from ``default_rng([seed, g])`` — normals first,
+        then uniforms.  Any change to draw order or count breaks
+        cross-engine and cross-epoch reproducibility, so this layout is
+        pinned."""
+        plan = tiny_simulator().draw_plan
+        for g in (0, 1, 7):
+            normals, uniforms = repetition_draws(plan, seed=5,
+                                                 global_repetition=g)
+            oracle = np.random.default_rng([5, g])
+            np.testing.assert_array_equal(
+                normals, oracle.standard_normal(plan.num_normals))
+            np.testing.assert_array_equal(
+                uniforms, oracle.random(plan.num_uniforms))
+
+    def test_index_helpers_partition_the_layout(self):
+        """Every draw position is owned by exactly one (kind, slot,
+        entry) coordinate and the blocks tile the arrays completely."""
+        flow_set, schedule = tiny_flow_and_schedule()
+        sim = TschSimulator(schedule, flow_set, tiny_environment(),
+                            ChannelMap.first_n(2))
+        num_interferers = 2
+        plan = build_draw_plan(sim.compiled, num_interferers)
+
+        normal_indices = [plan.drift_index(a, b) for a, b in plan.pairs]
+        uniform_indices = []
+        for pos, count in enumerate(plan.entry_counts):
+            for entry in range(count):
+                normal_indices.append(plan.signal_fast_index(pos, entry))
+                for other in range(count):
+                    normal_indices.append(
+                        plan.interference_fast_index(pos, entry, other))
+                uniform_indices.append(
+                    plan.reception_uniform_index(pos, entry))
+            for interferer in range(num_interferers):
+                uniform_indices.append(
+                    plan.activity_uniform_index(pos, interferer))
+                for entry in range(count):
+                    normal_indices.append(
+                        plan.interferer_fast_index(pos, interferer, entry))
+
+        assert sorted(normal_indices) == list(range(plan.num_normals))
+        assert sorted(uniform_indices) == list(range(plan.num_uniforms))
+
+    def test_plan_covers_every_scheduled_slot_only(self):
+        flow_set, schedule = tiny_flow_and_schedule()
+        sim = TschSimulator(schedule, flow_set, tiny_environment(),
+                            ChannelMap.first_n(2))
+        assert sim.draw_plan.slots == tuple(sorted(sim.compiled))
+        # tiny_flow_and_schedule occupies slots 0-3 of a 100-slot frame:
+        # the event timeline must not contain the 96 idle ASNs.
+        assert sim.draw_plan.slots == (0, 1, 2, 3)
+
+
+# ----------------------------------------------------------------------
+# Draw isolation: inactive entries consume their draws anyway
+# ----------------------------------------------------------------------
+
+def two_flow_environment(num_channels=2):
+    """Four nodes, two radio-isolated links 0->1 and 2->3."""
+    rssi = np.full((4, 4, num_channels), -150.0)
+    idx = np.arange(4)
+    rssi[idx, idx, :] = -np.inf
+    rssi[0, 1, :] = rssi[1, 0, :] = -60.0
+    rssi[2, 3, :] = rssi[3, 2, :] = -60.0
+    return RadioEnvironment(
+        positions=np.zeros((4, 3)),
+        rssi_dbm=rssi,
+        channel_map=ChannelMap.first_n(num_channels),
+        grey_sigma_db=3.6,
+    )
+
+
+def two_flow_setup():
+    flow_a = Flow(0, 0, 1, 100, 100, (0, 1))
+    flow_b = Flow(1, 2, 3, 100, 100, (2, 3))
+    flow_set = FlowSet([flow_a, flow_b])
+    schedule = Schedule(4, 100, 2)
+    schedule.add(request(0, 1, flow_id=0, hop=0, attempt=0), 0, 0)
+    schedule.add(request(0, 1, flow_id=0, hop=0, attempt=1), 1, 0)
+    schedule.add(request(2, 3, flow_id=1, hop=0, attempt=0), 2, 0)
+    schedule.add(request(2, 3, flow_id=1, hop=0, attempt=1), 3, 0)
+    return flow_set, schedule
+
+
+class TestDrawIsolation:
+    @pytest.mark.parametrize("engine", [ENGINE_SLOT, ENGINE_EVENT])
+    def test_dark_sender_leaves_other_flow_untouched(self, engine):
+        """Darkening flow B's sender must not shift flow A's random
+        draws (the historical bug class: an engine that skips an
+        inactive entry's draws re-times every draw after it)."""
+        flow_set, schedule = two_flow_setup()
+        env = two_flow_environment()
+
+        def run(conditions):
+            sim = TschSimulator(schedule, flow_set, env, env.channel_map,
+                                config=SimulationConfig(seed=9),
+                                conditions=conditions)
+            return sim.run(12, engine=engine)
+
+        clean = run(None)
+        dark = run(Conditions(dark_nodes=frozenset({2})))
+
+        assert dark.pdr_per_flow()[1] == 0.0
+        assert dark.flow_released[0] == clean.flow_released[0]
+        assert dark.flow_delivered[0] == clean.flow_delivered[0]
+        link_a = (0, 1)
+        for rep_clean, rep_dark in zip(clean.repetitions, dark.repetitions):
+            assert rep_clean.contention_free[link_a].attempts == \
+                rep_dark.contention_free[link_a].attempts
+            assert rep_clean.contention_free[link_a].successes == \
+                rep_dark.contention_free[link_a].successes
+
+
+# ----------------------------------------------------------------------
+# ASN / substream continuity across start_repetition
+# ----------------------------------------------------------------------
+
+class TestStartRepetitionContinuity:
+    @pytest.mark.parametrize("engine", [ENGINE_SLOT, ENGINE_EVENT])
+    def test_split_run_equals_whole_run(self, engine):
+        """run(6) must equal run(3) followed by run(3, start_repetition=3)
+        — repetition substreams key on the *global* index, and the ASN
+        (hence the hop pattern) advances with it."""
+        whole = tiny_simulator().run(6, engine=engine)
+
+        sim = tiny_simulator()
+        first = sim.run(3, engine=engine)
+        second = sim.run(3, start_repetition=3, engine=engine)
+
+        merged_released = dict(first.flow_released)
+        merged_delivered = dict(first.flow_delivered)
+        for flow_id, count in second.flow_released.items():
+            merged_released[flow_id] = merged_released.get(flow_id, 0) + count
+        for flow_id, count in second.flow_delivered.items():
+            merged_delivered[flow_id] = (merged_delivered.get(flow_id, 0)
+                                         + count)
+        assert merged_released == dict(whole.flow_released)
+        assert merged_delivered == dict(whole.flow_delivered)
+
+        def rep_buckets(stats):
+            return signature(stats)[2]
+
+        assert rep_buckets(first) + rep_buckets(second) == rep_buckets(whole)
+
+    def test_engines_agree_on_offset_repetitions(self):
+        """Parity is per global repetition, not just from zero."""
+        slot = tiny_simulator().run(4, start_repetition=10,
+                                    engine=ENGINE_SLOT)
+        event = tiny_simulator().run(4, start_repetition=10,
+                                     engine=ENGINE_EVENT)
+        assert signature(slot) == signature(event)
+
+
+# ----------------------------------------------------------------------
+# Epoch boundaries: the manager's per-epoch pattern
+# ----------------------------------------------------------------------
+
+class TestEpochBoundaries:
+    EPOCHS = 3
+    REPS = 4
+
+    def _run_epochs(self, engine):
+        """The manager loop's shape: a fresh simulator every epoch with
+        start_repetition advancing by repetitions_per_epoch."""
+        from repro.obs import recorder as _obs
+        from repro.obs.recorder import Recorder
+
+        per_epoch = []
+        with _obs.recording(Recorder()) as rec:
+            for epoch in range(self.EPOCHS):
+                stats = tiny_simulator().run(
+                    self.REPS, start_repetition=epoch * self.REPS,
+                    engine=engine)
+                per_epoch.append(stats)
+        counters = rec.registry.snapshot()["counters"]
+        return per_epoch, {name: value for name, value in counters.items()
+                           if name.startswith("sim.")}
+
+    def test_epochs_identical_across_engines(self):
+        slot_epochs, slot_counters = self._run_epochs(ENGINE_SLOT)
+        event_epochs, event_counters = self._run_epochs(ENGINE_EVENT)
+
+        for slot_stats, event_stats in zip(slot_epochs, event_epochs):
+            assert signature(slot_stats) == signature(event_stats)
+            assert slot_stats.channel_prr() == event_stats.channel_prr()
+
+        # The sim.* counters agree except for the engine-tagged run
+        # counter, which records which code path executed.
+        assert slot_counters.pop("sim.runs.slot") == self.EPOCHS
+        assert event_counters.pop("sim.runs.event") == self.EPOCHS
+        assert slot_counters == event_counters
+
+    def test_epoch_split_matches_one_batched_run(self):
+        """Running all epochs as one batched call gives the same
+        per-repetition records as the epoch-by-epoch split."""
+        whole = tiny_simulator().run(self.EPOCHS * self.REPS,
+                                     engine=ENGINE_EVENT)
+        epochs, _ = self._run_epochs(ENGINE_EVENT)
+        split_buckets = tuple(bucket for stats in epochs
+                              for bucket in signature(stats)[2])
+        assert split_buckets == signature(whole)[2]
+
+
+# ----------------------------------------------------------------------
+# Chunking is a memory knob, never a semantics knob
+# ----------------------------------------------------------------------
+
+class TestChunkInvariance:
+    @pytest.mark.parametrize("chunk_reps", [1, 2, 5, None])
+    def test_chunking_never_changes_results(self, chunk_reps):
+        baseline = tiny_simulator().run(5, engine=ENGINE_EVENT)
+        chunked = tiny_simulator().run(5, engine=ENGINE_EVENT,
+                                       chunk_reps=chunk_reps)
+        assert signature(chunked) == signature(baseline)
