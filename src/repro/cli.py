@@ -551,32 +551,67 @@ def cmd_top(args: argparse.Namespace) -> int:
         return 2
 
 
+#: Trailer kinds every JSONL exporter appends (export bookkeeping, not
+#: observed events).
+_TRAILER_KINDS = ("trace_meta", "prov_meta", "span_meta", "ts_meta")
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from collections import Counter
 
     from repro.io import load_jsonl, load_metrics
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.report import format_report
+    from repro.obs.spans import expand_span_paths
 
     # A missing or corrupt snapshot is an operator mistake, not a bug:
     # one line to stderr and a distinct exit code, never a traceback.
+    # A service run leaves one front-end file plus per-worker ``.w<i>``
+    # siblings; the report folds every sibling it finds into one view.
     try:
-        snapshot = load_metrics(args.metrics)
+        metric_paths = expand_span_paths(args.metrics)
+        if not metric_paths:
+            raise OSError(f"no such file: {args.metrics}")
+        snapshot = MetricsRegistry.merge_snapshots(
+            load_metrics(path) for path in metric_paths)
         kind_counts = None
         dropped = None
         if args.trace_in:
-            records = load_jsonl(args.trace_in)
-            # Trailer records are export bookkeeping, not observed
-            # events: surface their dropped tally separately.
+            records = []
+            for path in expand_span_paths(args.trace_in) or [args.trace_in]:
+                records.extend(load_jsonl(path))
             meta = [r for r in records
-                    if r.get("kind") in ("trace_meta", "prov_meta")]
+                    if r.get("kind") in _TRAILER_KINDS]
             if meta:
                 dropped = sum(int(r.get("dropped", 0)) for r in meta)
             kind_counts = dict(Counter(
                 record.get("kind", "?") for record in records
-                if record.get("kind") not in ("trace_meta", "prov_meta")))
+                if record.get("kind") not in _TRAILER_KINDS))
+        if len(metric_paths) > 1:
+            print(f"merged {len(metric_paths)} snapshot(s): "
+                  + ", ".join(metric_paths))
         print(format_report(snapshot, kind_counts, dropped))
     except (OSError, ValueError, KeyError, TypeError) as error:
         print(f"error: cannot read metrics from {args.metrics}: {error}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.spans import expand_span_paths, format_trace_show
+
+    # Only one action today; argparse enforces the choice so a future
+    # `repro trace diff` slots in without breaking invocations.
+    try:
+        paths = expand_span_paths(args.spans_in)
+        if not paths:
+            raise OSError(f"no such file: {args.spans_in}")
+        print(format_trace_show(paths, limit=args.limit,
+                                trace_prefix=args.trace_id,
+                                width=args.width))
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot read spans from {args.spans_in}: {error}",
               file=sys.stderr)
         return 2
     return 0
@@ -672,6 +707,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         metrics_path=args.metrics_out,
         provenance_path=args.provenance,
         timeseries_path=args.timeseries,
+        spans_path=args.spans,
+        span_threshold_ms=args.span_threshold_ms,
         kernel=args.kernel)
     return run_service(options)
 
@@ -702,7 +739,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         rho_t=args.rho_t,
         traffic=args.traffic,
         verify=args.verify,
-        report_out=args.report_out)
+        report_out=args.report_out,
+        trace_out=args.trace_out,
+        trace_threshold_ms=args.trace_threshold_ms)
     report = run_loadgen(options)
     print(format_report(report))
     if args.report_out:
@@ -928,8 +967,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="pretty-print a metrics snapshot")
     p.add_argument("metrics", help="metrics JSON written by --metrics-out")
     p.add_argument("--trace", dest="trace_in", default=None, metavar="FILE",
-                   help="also summarize a JSONL trace by event kind")
+                   help="also summarize a JSONL trace by event kind "
+                        "(.w<N> worker siblings are folded in)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("trace",
+                       help="inspect request-span dumps (--spans / "
+                            "--trace-out)")
+    tsub = p.add_subparsers(dest="action", required=True)
+    # dest is spans_in, NOT spans: _run_command treats a "spans"
+    # attribute as a recording *output* path and would overwrite the
+    # dump being viewed.
+    ps = tsub.add_parser("show",
+                         help="ASCII waterfalls of the slowest captured "
+                              "traces")
+    ps.add_argument("spans_in", metavar="SPANS",
+                    help="span JSONL written by serve --spans or "
+                         "loadgen --trace-out; .w<N> worker siblings "
+                         "are merged automatically")
+    ps.add_argument("--limit", type=int, default=5, metavar="N",
+                    help="traces to render, slowest first")
+    ps.add_argument("--trace-id", default=None, metavar="PREFIX",
+                    help="only traces whose id starts with this prefix")
+    ps.add_argument("--width", type=int, default=48,
+                    help="waterfall bar width in characters")
+    ps.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("explain",
                        help="constraint chain for one link x slot of a "
@@ -1074,6 +1136,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-batch service.* time series for "
                         "'repro top'; each worker exports FILE.w<N> "
                         "at shutdown")
+    p.add_argument("--spans", default=None, metavar="FILE",
+                   help="request-span dump with tail-based exemplar "
+                        "capture; each worker exports FILE.w<N> at "
+                        "shutdown (view with 'repro trace show')")
+    p.add_argument("--span-threshold-ms", type=float, default=50.0,
+                   metavar="MS",
+                   help="keep a trace's spans when its root takes at "
+                        "least this long (errors always kept)")
     ledger_opts(p)
     p.set_defaults(func=cmd_serve)
 
@@ -1111,6 +1181,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "distorts latency numbers)")
     p.add_argument("--report-out", default=None, metavar="FILE",
                    help="write the load report as JSON")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record client-side request spans (propagating "
+                        "trace context to the server) and dump the "
+                        "slowest here")
+    p.add_argument("--trace-threshold-ms", type=float, default=50.0,
+                   metavar="MS",
+                   help="keep a request's trace when it takes at least "
+                        "this long (errors always kept)")
     ledger_opts(p)
     p.set_defaults(func=cmd_loadgen)
 
@@ -1120,8 +1198,9 @@ def build_parser() -> argparse.ArgumentParser:
 #: ``args`` attributes whose values are files the run writes; collected
 #: into the ledger record so every artifact names the run that made it.
 _ARTIFACT_ARGS = ("trace", "metrics_out", "provenance", "timeseries",
-                  "save", "report_out", "out", "artifacts",
-                  "schedule_out", "flows_out", "topology_out", "history")
+                  "spans", "trace_out", "save", "report_out", "out",
+                  "artifacts", "schedule_out", "flows_out",
+                  "topology_out", "history")
 
 
 def _artifact_paths(args: argparse.Namespace) -> List[str]:
@@ -1143,7 +1222,9 @@ def _run_command(args: argparse.Namespace):
     metrics_path = getattr(args, "metrics_out", None)
     prov_path = getattr(args, "provenance", None)
     series_path = getattr(args, "timeseries", None)
-    if not (trace_path or metrics_path or prov_path or series_path):
+    spans_path = getattr(args, "spans", None)
+    if not (trace_path or metrics_path or prov_path or series_path
+            or spans_path):
         return args.func(args), None
 
     from repro.io import save_metrics
@@ -1154,8 +1235,16 @@ def _run_command(args: argparse.Namespace):
 
         prov = ProvenanceRecorder()
     timeseries = obs.TimeSeriesStore() if series_path else None
+    spans = None
+    if spans_path:
+        from repro.obs.spans import SpanRecorder
+
+        spans = SpanRecorder(
+            threshold_ms=getattr(args, "span_threshold_ms", 50.0),
+            process="front")
     with obs.recording(obs.Recorder(provenance=prov,
-                                    timeseries=timeseries)) as recorder:
+                                    timeseries=timeseries,
+                                    spans=spans)) as recorder:
         status = args.func(args)
         if trace_path:
             written = recorder.tracer.export_jsonl(trace_path)
@@ -1174,6 +1263,10 @@ def _run_command(args: argparse.Namespace):
         if series_path:
             written = timeseries.export_jsonl(series_path)
             print(f"timeseries: {written} series -> {series_path}")
+        if spans_path:
+            written = spans.export_jsonl(spans_path)
+            print(f"spans: {written} span(s) across "
+                  f"{spans.kept_traces} trace(s) -> {spans_path}")
     return status, recorder
 
 

@@ -52,11 +52,20 @@ from repro.obs.recorder import (
 )
 from repro.obs.report import format_report
 from repro.obs.slo import FlowSloState, SloConfig, SloEngine
+from repro.obs.spans import (
+    ActiveSpan,
+    SpanRecorder,
+    activate,
+    current_span,
+    stage,
+    wire_context,
+)
 from repro.obs.timeseries import DEFAULT_RETENTION, Series, TimeSeriesStore
 from repro.obs.top import render_top, sparkline
 from repro.obs.trace import DEFAULT_CAPACITY, TraceEvent, Tracer
 
 __all__ = [
+    "ActiveSpan",
     "Counter",
     "DEFAULT_CAPACITY",
     "DEFAULT_RETENTION",
@@ -72,10 +81,13 @@ __all__ = [
     "Series",
     "SloConfig",
     "SloEngine",
+    "SpanRecorder",
     "TIME_BUCKETS_S",
     "TimeSeriesStore",
     "TraceEvent",
     "Tracer",
+    "activate",
+    "current_span",
     "disable",
     "enable",
     "environment_fingerprint",
@@ -89,5 +101,7 @@ __all__ = [
     "render_top",
     "span",
     "sparkline",
+    "stage",
     "timed",
+    "wire_context",
 ]

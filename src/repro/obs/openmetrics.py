@@ -26,6 +26,15 @@ anything else                           ``repro_ts_<sanitized>``
 is a point-in-time scrape surface; history stays in the JSONL dump).
 A series prefix (``reschedule/slo.flow...``) becomes a ``run`` label.
 
+Two snapshot-side conventions are lifted into labeled families too:
+``span.<stage>.seconds`` histograms (request-stage latency recorded by
+the span layer) merge into one ``repro_stage_seconds{stage="..."}``
+histogram family, and ``service.cache.<kind>.<verdict>`` counters
+(artifact-cache lookups) merge into
+``repro_service_cache_lookups_total{kind="...",verdict="..."}`` — so a
+dashboard can rate() and histogram_quantile() across stages and cache
+kinds without regex-relabeling dotted names.
+
 There is deliberately no HTTP server here: ``repro metrics export
 --openmetrics`` writes the exposition to a file or stdout, which the
 Prometheus node-exporter textfile collector (or a test) picks up.
@@ -42,6 +51,11 @@ from typing import Dict, List, Optional, Tuple
 
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Snapshot-side names lifted into labeled families.
+_CACHE_COUNTER = re.compile(
+    r"^service\.cache\.(?P<kind>[a-z_]+)\.(?P<verdict>hit|miss)$")
+_STAGE_HISTOGRAM = re.compile(r"^span\.(?P<stage>[a-z_.]+)\.seconds$")
 
 #: Series-name patterns lifted into labeled families.
 _LABELED_SERIES = (
@@ -136,6 +150,13 @@ def render_openmetrics(snapshot: Dict, timeseries=None) -> str:
         return existing
 
     for name, value in snapshot.get("counters", {}).items():
+        cache = _CACHE_COUNTER.match(name)
+        if cache:
+            fam = family("repro_service_cache_lookups_total", "counter",
+                         "Artifact-cache lookups by kind and verdict")
+            fam.add(float(value), {"kind": cache.group("kind"),
+                                   "verdict": cache.group("verdict")})
+            continue
         fam = family(f"repro_{sanitize_name(name)}_total", "counter",
                      f"Counter {name}")
         fam.add(float(value))
@@ -146,16 +167,25 @@ def render_openmetrics(snapshot: Dict, timeseries=None) -> str:
         fam.add(float(value))
 
     for name, data in snapshot.get("histograms", {}).items():
-        fam = family(f"repro_{sanitize_name(name)}", "histogram",
-                     f"Histogram {name}")
+        stage = _STAGE_HISTOGRAM.match(name)
+        if stage:
+            fam = family("repro_stage_seconds", "histogram",
+                         "Request-stage latency by span name")
+            labels = {"stage": stage.group("stage")}
+        else:
+            fam = family(f"repro_{sanitize_name(name)}", "histogram",
+                         f"Histogram {name}")
+            labels = {}
         cumulative = 0
         for bound, count in zip(data["buckets"], data["counts"]):
             cumulative += int(count)
-            fam.add(cumulative, {"le": _format_value(float(bound))},
+            fam.add(cumulative,
+                    dict(labels, le=_format_value(float(bound))),
                     suffix="_bucket")
-        fam.add(int(data["count"]), {"le": "+Inf"}, suffix="_bucket")
-        fam.add(float(data["sum"]), suffix="_sum")
-        fam.add(int(data["count"]), suffix="_count")
+        fam.add(int(data["count"]), dict(labels, le="+Inf"),
+                suffix="_bucket")
+        fam.add(float(data["sum"]), labels or None, suffix="_sum")
+        fam.add(int(data["count"]), labels or None, suffix="_count")
 
     if timeseries is not None:
         for series_name in timeseries.names():

@@ -34,18 +34,24 @@ class Recorder:
     modules import this one at load time and provenance reaches back
     into core).  ``timeseries`` optionally attaches a
     :class:`repro.obs.timeseries.TimeSeriesStore` under the same
-    contract.  Instrumentation sites check ``ENABLED`` first, then
+    contract, and ``spans`` a :class:`repro.obs.spans.SpanRecorder`
+    (bound here to the registry and tracer so finished spans observe
+    ``span.<name>.seconds`` histograms and mirror ``span`` ring
+    events).  Instrumentation sites check ``ENABLED`` first, then
     ``RECORDER.provenance is not None`` / ``RECORDER.timeseries is not
-    None``.
+    None`` / ``RECORDER.spans is not None``.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 provenance=None, timeseries=None):
+                 provenance=None, timeseries=None, spans=None):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.provenance = provenance
         self.timeseries = timeseries
+        self.spans = spans
+        if spans is not None:
+            spans.bind(self.registry, self.tracer)
 
     def sample(self, name: str, t: float, value: float) -> None:
         """Append one time-series sample (no-op without a store)."""
@@ -83,6 +89,7 @@ class NullRecorder:
         self.tracer = Tracer(capacity=1)
         self.provenance = None
         self.timeseries = None
+        self.spans = None
 
     def sample(self, name: str, t: float, value: float) -> None:
         """Discard."""

@@ -68,6 +68,52 @@ def _phase_table(counters: Dict[str, float]) -> List[str]:
     return lines
 
 
+def _stage_table(histograms: Dict[str, Dict]) -> List[str]:
+    """Request-stage latency from the span layer's side histograms."""
+    from repro.obs.metrics import quantile_from_buckets
+
+    stages = []
+    for name, data in histograms.items():
+        if not (name.startswith("span.") and name.endswith(".seconds")):
+            continue
+        stage = name[len("span."):-len(".seconds")]
+        count = int(data["count"])
+        total = float(data["sum"])
+        p99 = quantile_from_buckets(data["buckets"], data["counts"], 0.99)
+        stages.append((stage, count, total, p99))
+    if not stages:
+        return []
+    stages.sort(key=lambda row: (-row[2], row[0]))
+    lines = ["request stages (from span dump):",
+             f"  {'stage':<20} {'count':>7} {'total s':>9} "
+             f"{'mean ms':>9} {'p99 ms':>9}"]
+    for stage, count, total, p99 in stages:
+        mean_ms = 1000.0 * total / count if count else 0.0
+        p99_ms = 1000.0 * p99 if p99 is not None else 0.0
+        lines.append(f"  {stage:<20} {_fmt(count):>7} {total:>9.3f} "
+                     f"{mean_ms:>9.2f} {p99_ms:>9.2f}")
+    return lines
+
+
+def _cache_table(counters: Dict[str, float]) -> List[str]:
+    """Artifact-cache lookups by kind (``service.cache.<kind>.<verdict>``)."""
+    kinds = sorted({name.split(".")[2] for name in counters
+                    if name.startswith("service.cache.")
+                    and len(name.split(".")) == 4})
+    if not kinds:
+        return []
+    lines = ["artifact cache lookups:",
+             f"  {'kind':<14} {'hits':>8} {'misses':>8} {'hit rate':>9}"]
+    for kind in kinds:
+        hits = counters.get(f"service.cache.{kind}.hit", 0)
+        misses = counters.get(f"service.cache.{kind}.miss", 0)
+        total = hits + misses
+        rate = hits / total if total else 0.0
+        lines.append(f"  {kind:<14} {_fmt(hits):>8} {_fmt(misses):>8} "
+                     f"{rate:>9.3f}")
+    return lines
+
+
 def format_report(snapshot: Dict,
                   trace_kind_counts: Optional[Dict[str, int]] = None,
                   trace_dropped: Optional[int] = None) -> str:
@@ -133,6 +179,14 @@ def format_report(snapshot: Dict,
             lines.append(f"  {'verdict ' + label:<30} "
                          f"{_fmt(counters[key]):>12}")
         sections.append(lines)
+
+    stage_lines = _stage_table(histograms)
+    if stage_lines:
+        sections.append(stage_lines)
+
+    cache_lines = _cache_table(counters)
+    if cache_lines:
+        sections.append(cache_lines)
 
     phase_lines = _phase_table(counters)
     if phase_lines:

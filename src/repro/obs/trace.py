@@ -26,6 +26,12 @@ kind                      emitted by / meaning
                           its pre-flight audit and was rolled back
 ``slo_burn``              SLO engine — a flow's burn-rate alert state
                           changed (``ok`` / ``warn`` / ``alert``)
+``service_request``       service executor — one handled verb with wall
+                          time and cache verdicts
+``span``                  :mod:`repro.obs.spans` — a finished
+                          request-path span (mirrored into the ring
+                          when a recorder carries both layers; the
+                          full causal tree lives in the span dump)
 ``trace_meta``            :meth:`Tracer.export_jsonl` — export trailer
                           accounting for ring evictions (``dropped``,
                           ``capacity``); not an in-ring event

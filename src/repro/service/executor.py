@@ -38,9 +38,14 @@ Semantics per verb:
 
 Every handled request is obs-visible when recording is enabled: a
 ``service.requests`` counter per verb, a ``service_request`` trace
-event carrying wall time and cache verdicts, and — when a provenance
-recorder is attached — the ``[first, last)`` decision-id bracket of the
-placements the request caused, manager-epoch style.
+event carrying wall time and cache verdicts, per-kind cache lookup
+counters, and — when a provenance recorder is attached — the
+``[first, last)`` decision-id bracket of the placements the request
+caused, manager-epoch style.  When the recorder also carries a span
+layer and a request span is open (the worker loop), every expensive
+phase — cache lookups, compile, repair, rebuild, simulate — runs
+inside a named :func:`repro.obs.spans.stage`, which is what the
+``repro trace show`` waterfalls decompose latency into.
 """
 
 from __future__ import annotations
@@ -66,6 +71,7 @@ from repro.experiments.common import (
 from repro.flows.flow import FlowSet
 from repro.flows.generator import PeriodRange
 from repro.obs import recorder as _obs
+from repro.obs.spans import stage
 from repro.routing.traffic import TrafficType
 from repro.service.cache import ArtifactCache, DEFAULT_CAPACITY
 from repro.service.protocol import NetworkConfig, Request
@@ -155,6 +161,17 @@ def direct_schedule(config: NetworkConfig) -> SchedulingResult:
                              rho_t=config.rho_t)
 
 
+def _note_cache(kind: str, verdict: str) -> None:
+    """Per-kind cache lookup counter (``service.cache.<kind>.<verdict>``).
+
+    The :class:`~repro.service.cache.ArtifactCache` keeps its own stats
+    dict for ``status`` payloads; these recorder counters are what the
+    OpenMetrics export sees (as the labeled
+    ``repro_service_cache_lookups_total`` family)."""
+    if _obs.ENABLED:
+        _obs.RECORDER.count(f"service.cache.{kind}.{verdict}")
+
+
 def _auto_victim(schedule: Schedule, barred: Set[Link]) -> Optional[Link]:
     """Smallest not-yet-barred link occupying any shared cell."""
     links = set()
@@ -241,16 +258,30 @@ class ServiceExecutor:
         config = request.config
         cache_info: Dict[str, str] = {}
 
-        prepared, cache_info["topology"] = self.cache.get_or_build(
-            "topology", config.topology_hash(),
-            lambda: build_prepared(config))
-        flow_set, cache_info["workload"] = self.cache.get_or_build(
-            "workload", config.workload_hash(),
-            lambda: build_flow_set(config, prepared))
-        result, cache_info["schedule"] = self.cache.get_or_build(
-            "schedule", config.schedule_hash(),
-            lambda: schedule_workload(prepared, flow_set, config.policy,
-                                      rho_t=config.rho_t))
+        with stage("cache.topology") as sp:
+            prepared, cache_info["topology"] = self.cache.get_or_build(
+                "topology", config.topology_hash(),
+                lambda: build_prepared(config))
+            if sp is not None:
+                sp.annotate(verdict=cache_info["topology"])
+        _note_cache("topology", cache_info["topology"])
+        with stage("cache.workload") as sp:
+            flow_set, cache_info["workload"] = self.cache.get_or_build(
+                "workload", config.workload_hash(),
+                lambda: build_flow_set(config, prepared))
+            if sp is not None:
+                sp.annotate(verdict=cache_info["workload"])
+        _note_cache("workload", cache_info["workload"])
+        with stage("compile") as sp:
+            result, cache_info["schedule"] = self.cache.get_or_build(
+                "schedule", config.schedule_hash(),
+                lambda: schedule_workload(prepared, flow_set,
+                                          config.policy,
+                                          rho_t=config.rho_t))
+            if sp is not None:
+                sp.annotate(verdict=cache_info["schedule"],
+                            placements=len(result.schedule))
+        _note_cache("schedule", cache_info["schedule"])
 
         previous = self.sessions.get(request.network)
         if previous is not None \
@@ -308,10 +339,17 @@ class ServiceExecutor:
                     "barred_links": len(session.barred)}
 
         rho_t = math.inf if config.policy == "NR" else config.rho_t
-        outcome = repair_schedule(
-            session.schedule, session.flow_set, session.prepared.reuse,
-            ChangeSet(victims=tuple(victims)), rho_t=rho_t,
-            barred=sorted(session.barred), policy_name=config.policy)
+        with stage("repair") as sp:
+            outcome = repair_schedule(
+                session.schedule, session.flow_set,
+                session.prepared.reuse,
+                ChangeSet(victims=tuple(victims)), rho_t=rho_t,
+                barred=sorted(session.barred),
+                policy_name=config.policy)
+            if sp is not None:
+                sp.annotate(victims=len(victims),
+                            repaired=outcome.schedulable,
+                            evicted=getattr(outcome, "evicted", None))
         payload: Dict = {"victims": [list(v) for v in victims]}
         if outcome.schedulable:
             session.schedule = outcome.schedule
@@ -328,14 +366,18 @@ class ServiceExecutor:
             if _obs.ENABLED:
                 _obs.RECORDER.count("service.repair_fallbacks")
             all_barred = set(session.barred) | set(victims)
-            barrier = ReuseBarrierPolicy(
-                inner=make_policy(config.policy, config.rho_t),
-                victim_links=all_barred)
-            scheduler = FixedPriorityScheduler(
-                num_nodes=session.prepared.topology.num_nodes,
-                num_offsets=session.prepared.num_channels,
-                reuse_graph=session.prepared.reuse, policy=barrier)
-            rebuilt = scheduler.run(session.flow_set)
+            with stage("rebuild") as sp:
+                barrier = ReuseBarrierPolicy(
+                    inner=make_policy(config.policy, config.rho_t),
+                    victim_links=all_barred)
+                scheduler = FixedPriorityScheduler(
+                    num_nodes=session.prepared.topology.num_nodes,
+                    num_offsets=session.prepared.num_channels,
+                    reuse_graph=session.prepared.reuse, policy=barrier)
+                rebuilt = scheduler.run(session.flow_set)
+                if sp is not None:
+                    sp.annotate(barred=len(all_barred),
+                                schedulable=rebuilt.schedulable)
             payload.update(repair_mode="rebuild",
                            schedulable=rebuilt.schedulable)
             if rebuilt.schedulable:
@@ -380,9 +422,13 @@ class ServiceExecutor:
                 f"network {request.network!r} has no live schedule to "
                 f"simulate (last compile/repair failed)")
         config = session.config
-        environment, env_verdict = self.cache.get_or_build(
-            "environment", config.topology_hash(),
-            lambda: build_environment(config))
+        with stage("cache.environment") as sp:
+            environment, env_verdict = self.cache.get_or_build(
+                "environment", config.topology_hash(),
+                lambda: build_environment(config))
+            if sp is not None:
+                sp.annotate(verdict=env_verdict)
+        _note_cache("environment", env_verdict)
         # A client-chosen seed makes runs reproducible across requests;
         # the default derives from the network config so two networks
         # sharing a topology still draw distinct fading.
@@ -395,7 +441,17 @@ class ServiceExecutor:
             environment=environment,
             channel_map=session.prepared.topology.channel_map,
             config=SimulationConfig(seed=sim_seed, engine=engine))
-        stats = simulator.run(repetitions)
+        with stage("simulate") as sp:
+            stats = simulator.run(repetitions)
+            if sp is not None:
+                resolved = resolve_engine(engine, repetitions)
+                sp.annotate(engine=resolved, repetitions=repetitions)
+                if resolved == "event":
+                    from repro.simulator.events import default_chunk_size
+
+                    chunk = default_chunk_size(simulator.draw_plan,
+                                               repetitions)
+                    sp.annotate(chunks=-(-repetitions // chunk))
         per_flow = stats.pdr_per_flow()
         return {
             "repetitions": repetitions,

@@ -24,6 +24,12 @@ per-network request sequence in-process and compares
 sharding, pipelining and all) returns exactly what direct library calls
 return.  Verification adds in-process scheduling work, so latency
 numbers from a verify run measure the harness, not the service.
+
+``--trace-out`` records a client-side span per request (tail exemplars
+only, per :mod:`repro.obs.spans`) and sends each request's trace
+context to the service, so a slow request found in the loadgen report
+can be looked up by trace id in the server's ``--spans`` dumps and
+decomposed with ``repro trace show``.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.spans import SpanRecorder, wire_context
 from repro.service.protocol import NetworkConfig, encode_line, parse_request
 
 _LINE_LIMIT = 4 * 1024 * 1024
@@ -65,6 +72,11 @@ class LoadgenOptions:
     traffic: str = "p2p"
     verify: bool = False
     report_out: Optional[str] = None
+    #: Export client-side request spans here (tail exemplars; each
+    #: request also carries its trace context to the service, so these
+    #: trace ids join the server/worker span dumps).
+    trace_out: Optional[str] = None
+    trace_threshold_ms: float = 50.0
 
 
 @dataclass
@@ -212,8 +224,33 @@ class _Client:
             self.reader_task.cancel()
 
 
+async def _traced_request(client: "_Client", payload: Dict,
+                          spans: Optional[SpanRecorder],
+                          ) -> Tuple[Dict, float, Optional[str]]:
+    """Send one request, spanned: returns (response, latency, trace id).
+
+    With a span recorder, the client opens a local-root ``request``
+    span whose trace context rides on the wire — the server adopts it,
+    so the client-chosen trace id is the join key across the loadgen,
+    front-end, and worker span dumps.
+    """
+    if spans is None:
+        response, latency_ms = await client.request(payload)
+        return response, latency_ms, None
+    root = spans.start("request", attrs={"verb": payload.get("verb"),
+                                         "network": payload.get("network"),
+                                         "id": payload.get("id")})
+    response, latency_ms = await client.request(
+        dict(payload, trace=wire_context(root)))
+    ok = bool(response.get("ok"))
+    duration_ms = root.end("ok" if ok else "error")
+    spans.close_trace(root.trace_id, duration_ms, error=not ok)
+    return response, latency_ms, root.trace_id
+
+
 def _note_response(stats: _Stats, payload: Dict, response: Dict,
-                   latency_ms: float, shadow) -> None:
+                   latency_ms: float, shadow,
+                   trace_id: Optional[str] = None) -> None:
     stats.latencies_ms.append(latency_ms)
     verb = payload["verb"]
     stats.verbs[verb] = stats.verbs.get(verb, 0) + 1
@@ -236,31 +273,38 @@ def _note_response(stats: _Stats, payload: Dict, response: Dict,
         if expected.get("schedule_hash") != result.get("schedule_hash"):
             stats.mismatches += 1
             if len(stats.mismatch_samples) < 5:
-                stats.mismatch_samples.append(
-                    {"id": payload.get("id"),
-                     "network": payload.get("network"),
-                     "verb": verb,
-                     "expected": expected.get("schedule_hash"),
-                     "got": result.get("schedule_hash")})
+                # Request ids ARE the plan's stream positions (see
+                # build_plan), so "index" pinpoints the request in a
+                # re-run of the same seed.
+                sample = {"index": payload.get("id"),
+                          "network": payload.get("network"),
+                          "verb": verb,
+                          "expected": expected.get("schedule_hash"),
+                          "got": result.get("schedule_hash")}
+                if trace_id:
+                    sample["trace_id"] = trace_id
+                stats.mismatch_samples.append(sample)
 
 
 async def _run_closed_loop(client: _Client, plan: List[Dict],
-                           stats: _Stats, shadow) -> None:
+                           stats: _Stats, shadow, spans) -> None:
     by_network: Dict[str, List[Dict]] = {}
     for payload in plan:
         by_network.setdefault(payload["network"], []).append(payload)
 
     async def drive(requests: List[Dict]) -> None:
         for payload in requests:
-            response, latency_ms = await client.request(payload)
-            _note_response(stats, payload, response, latency_ms, shadow)
+            response, latency_ms, trace_id = await _traced_request(
+                client, payload, spans)
+            _note_response(stats, payload, response, latency_ms, shadow,
+                           trace_id)
 
     await asyncio.gather(*(drive(requests)
                            for requests in by_network.values()))
 
 
 async def _run_open_loop(client: _Client, plan: List[Dict],
-                         stats: _Stats, shadow, rate: float,
+                         stats: _Stats, shadow, spans, rate: float,
                          seed: int) -> None:
     rng = np.random.default_rng(seed + 1)
     gaps = rng.exponential(1.0 / rate, size=len(plan))
@@ -268,12 +312,14 @@ async def _run_open_loop(client: _Client, plan: List[Dict],
     ordered: Dict[str, asyncio.Task] = {}
 
     async def fire(payload: Dict, after: Optional[asyncio.Task]) -> None:
-        response, latency_ms = await client.request(payload)
+        response, latency_ms, trace_id = await _traced_request(
+            client, payload, spans)
         if after is not None:
             # Shadow execution must respect per-network request order
             # even if responses interleave across networks.
             await after
-        _note_response(stats, payload, response, latency_ms, shadow)
+        _note_response(stats, payload, response, latency_ms, shadow,
+                       trace_id)
 
     for payload, gap in zip(plan, gaps):
         task = asyncio.ensure_future(
@@ -293,14 +339,17 @@ async def _run(options: LoadgenOptions) -> Dict:
         shadow = ServiceExecutor(worker_index=-1)
     plan = build_plan(options)
     stats = _Stats()
+    spans = (SpanRecorder(threshold_ms=options.trace_threshold_ms,
+                          process="loadgen")
+             if options.trace_out else None)
     client = await _Client.connect(options)
     started = time.perf_counter()
     try:
         if options.rate > 0:
-            await _run_open_loop(client, plan, stats, shadow,
+            await _run_open_loop(client, plan, stats, shadow, spans,
                                  options.rate, options.seed)
         else:
-            await _run_closed_loop(client, plan, stats, shadow)
+            await _run_closed_loop(client, plan, stats, shadow, spans)
         wall_s = time.perf_counter() - started
         status_response, _ = await client.request(
             {"id": "loadgen-status", "verb": "status"})
@@ -342,6 +391,21 @@ async def _run(options: LoadgenOptions) -> Dict:
         report["verify"] = {"checked": stats.verified,
                             "mismatches": stats.mismatches,
                             "mismatch_samples": stats.mismatch_samples}
+    if spans is not None:
+        written = spans.export_jsonl(options.trace_out)
+        report["trace"] = {
+            "out": options.trace_out,
+            "spans": written,
+            "kept_traces": spans.kept_traces,
+            "dropped_traces": spans.dropped_traces,
+            "threshold_ms": spans.threshold_ms,
+            "exemplars": [
+                {"trace_id": trace_id,
+                 "duration_ms": round(root_ms, 3),
+                 "verb": (root.get("attrs") or {}).get("verb"),
+                 "network": (root.get("attrs") or {}).get("network")}
+                for trace_id, root_ms, root in spans.slowest(5)],
+        }
     return report
 
 
@@ -375,6 +439,30 @@ def format_report(report: Dict) -> str:
         verify = report["verify"]
         lines.append(f"  verify: {verify['checked']} checked, "
                      f"{verify['mismatches']} mismatch(es)")
+        # A mismatch without the offending request is undebuggable:
+        # name the stream index, verb, network, and both hashes.
+        for sample in verify.get("mismatch_samples", []):
+            where = (f"  verify MISMATCH request #{sample.get('index')} "
+                     f"{sample.get('verb')} {sample.get('network')}: "
+                     f"expected {sample.get('expected')} "
+                     f"got {sample.get('got')}")
+            if sample.get("trace_id"):
+                where += f" (trace {sample['trace_id']})"
+            lines.append(where)
+        shown = len(verify.get("mismatch_samples", []))
+        if verify["mismatches"] > shown:
+            lines.append(f"  ... {verify['mismatches'] - shown} more "
+                         f"mismatch(es) not sampled")
+    if report.get("trace"):
+        trace = report["trace"]
+        lines.append(f"  trace: kept {trace['kept_traces']} / dropped "
+                     f"{trace['dropped_traces']} trace(s) "
+                     f"(threshold {trace['threshold_ms']} ms) "
+                     f"-> {trace['out']}")
+        for exemplar in trace.get("exemplars", []):
+            lines.append(f"    slow {exemplar['trace_id']}  "
+                         f"{exemplar['duration_ms']:.1f} ms  "
+                         f"{exemplar['verb']} {exemplar['network']}")
     lines.append("  latency histogram:")
     lines.append(format_histogram(report["histogram"]))
     return "\n".join(lines)

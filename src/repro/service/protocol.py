@@ -21,6 +21,13 @@ Response shape::
     {"id": 7, "ok": false, "verb": "schedule", "network": "plant-3",
      "error": {"type": "...", "message": "..."}}
 
+Requests may carry an optional ``trace`` object — ``{"trace_id": ...,
+"span_id": ...}`` per :mod:`repro.obs.spans` — adopted by the
+front-end's request span and echoed (``{"trace_id": ...}``) in the
+response, so a client can find its own requests in the span dumps.
+The front-end rewrites the context (adding ``enqueued_unix``) before
+forwarding to a worker; clients never need that field.
+
 Verbs: ``schedule`` (compile a network's superframe), ``reschedule``
 (repair the running schedule around victim links), ``explain``
 (constraint chain for one link × slot), ``status`` (service and cache
@@ -159,6 +166,7 @@ class Request:
     repetitions: Optional[int] = None
     engine: Optional[str] = None
     sim_seed: Optional[int] = None
+    trace: Optional[Dict] = None
     raw: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
@@ -182,6 +190,8 @@ class Request:
             payload["engine"] = self.engine
         if self.sim_seed is not None:
             payload["seed"] = self.sim_seed
+        if self.trace is not None:
+            payload["trace"] = self.trace
         return payload
 
 
@@ -206,6 +216,8 @@ def parse_request(data) -> Request:
                             f"(expected one of {list(VERBS)})")
     request = Request(verb=verb, id=data.get("id"),
                       network=str(data.get("network", "")), raw=data)
+    if data.get("trace") is not None:
+        request.trace = _parse_trace_context(data["trace"])
     if verb in WORKER_VERBS and not request.network:
         raise ProtocolError(f"{verb} needs a 'network' name")
     if verb == "schedule":
@@ -254,6 +266,33 @@ def parse_request(data) -> Request:
             if request.sim_seed < 0:
                 raise ProtocolError("seed must be non-negative")
     return request
+
+
+#: Upper bound on client-supplied trace/span id length.
+MAX_TRACE_ID_LEN = 64
+
+
+def _parse_trace_context(data) -> Dict:
+    """Validate a request's ``trace`` object (strict, like configs)."""
+    if not isinstance(data, dict):
+        raise ProtocolError("trace must be a JSON object")
+    unknown = set(data) - {"trace_id", "span_id", "enqueued_unix"}
+    if unknown:
+        raise ProtocolError(f"unknown trace field(s): {sorted(unknown)}")
+    trace_id = data.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id \
+            or len(trace_id) > MAX_TRACE_ID_LEN:
+        raise ProtocolError("trace.trace_id must be a non-empty string "
+                            f"of <= {MAX_TRACE_ID_LEN} chars")
+    span_id = data.get("span_id")
+    if span_id is not None and (not isinstance(span_id, str)
+                                or len(span_id) > MAX_TRACE_ID_LEN):
+        raise ProtocolError("trace.span_id must be a string of <= "
+                            f"{MAX_TRACE_ID_LEN} chars")
+    enqueued = data.get("enqueued_unix")
+    if enqueued is not None and not isinstance(enqueued, (int, float)):
+        raise ProtocolError("trace.enqueued_unix must be a number")
+    return dict(data)
 
 
 def ok_response(request: Request, result: Dict,

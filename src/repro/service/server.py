@@ -80,6 +80,8 @@ class ServiceOptions:
     metrics_path: Optional[str] = None
     provenance_path: Optional[str] = None
     timeseries_path: Optional[str] = None
+    spans_path: Optional[str] = None
+    span_threshold_ms: float = 50.0
     kernel: Optional[str] = None
 
     def worker_options(self) -> WorkerOptions:
@@ -91,6 +93,8 @@ class ServiceOptions:
             metrics_path=self.metrics_path,
             provenance_path=self.provenance_path,
             timeseries_path=self.timeseries_path,
+            spans_path=self.spans_path,
+            span_threshold_ms=self.span_threshold_ms,
             kernel=self.kernel)
 
 
@@ -311,6 +315,70 @@ class ScheduleService:
                 "exposition": render_openmetrics(merged,
                                                  timeseries=timeseries)}
 
+    # -- request spans ---------------------------------------------------
+
+    def _open_request_span(self, request: Request):
+        """Start the front-end span pair for one request.
+
+        Returns ``(root, dispatch)`` ActiveSpans (either may be None).
+        The root span adopts the client's trace context when one came
+        in; the dispatch span's context (plus the enqueue wall-clock
+        stamp) is written onto the request so the owning worker can
+        parent its own spans and synthesize the queue-wait span.
+        """
+        from repro.obs import recorder as _obs
+
+        spans = _obs.RECORDER.spans if _obs.ENABLED else None
+        if spans is None:
+            return None, None
+        incoming = request.trace or {}
+        root = spans.start("request",
+                           trace_id=incoming.get("trace_id"),
+                           parent_id=incoming.get("span_id"),
+                           attrs={"verb": request.verb,
+                                  "network": request.network,
+                                  "id": request.id})
+        dispatch = None
+        if request.verb in WORKER_VERBS:
+            shard = shard_of(request.network, len(self.workers))
+            dispatch = spans.start("dispatch", trace_id=root.trace_id,
+                                   parent_id=root.span_id,
+                                   attrs={"shard": shard})
+            request.trace = {"trace_id": root.trace_id,
+                             "span_id": dispatch.span_id,
+                             "enqueued_unix": time.time()}
+        return root, dispatch
+
+    def _close_request_span(self, request: Request, response: Dict,
+                            root, dispatch) -> Dict:
+        """End the span pair with the response's status; echo the
+        trace id back to the client (also when the client supplied a
+        context but the server records no spans)."""
+        from repro.obs import recorder as _obs
+
+        ok = bool(response.get("ok"))
+        status = "ok" if ok else "error"
+        if not ok:
+            error = response.get("error") or {}
+            if root is not None:
+                root.annotate(error=error.get("type"))
+        if dispatch is not None:
+            dispatch.end(status)
+        trace_id = None
+        if root is not None:
+            duration_ms = root.end(status)
+            spans = _obs.RECORDER.spans if _obs.ENABLED else None
+            if spans is not None:
+                spans.close_trace(root.trace_id, duration_ms,
+                                  error=not ok)
+            trace_id = root.trace_id
+        elif request.trace:
+            trace_id = request.trace.get("trace_id")
+        if trace_id:
+            response = dict(response)
+            response["trace"] = {"trace_id": trace_id}
+        return response
+
     # -- client connections ----------------------------------------------
 
     async def _handle_client(self, reader: asyncio.StreamReader,
@@ -324,10 +392,13 @@ class ScheduleService:
                 writer.write(encode_line(payload))
                 await writer.drain()
 
-        async def answer(future: "asyncio.Future") -> None:
-            await reply(await future)
+        async def answer(request: Request, future: "asyncio.Future",
+                         root, dispatch) -> None:
+            response = self._close_request_span(request, await future,
+                                                root, dispatch)
+            await reply(response)
 
-        async def control(request: Request) -> None:
+        async def control(request: Request, root) -> None:
             try:
                 if request.verb == "status":
                     result = await self._status()
@@ -337,9 +408,11 @@ class ScheduleService:
                     result = {"pong": True,
                               "uptime_s": round(
                                   time.time() - self.started, 3)}
-                await reply(ok_response(request, result))
+                response = ok_response(request, result)
             except Exception as error:  # pragma: no cover - defensive
-                await reply(error_response(request, error))
+                response = error_response(request, error)
+            await reply(self._close_request_span(request, response,
+                                                 root, None))
 
         try:
             while True:
@@ -367,13 +440,16 @@ class ScheduleService:
                     _obs.RECORDER.count("service.front.requests")
                     _obs.RECORDER.count(
                         f"service.front.requests.{request.verb}")
+                root, dispatch = self._open_request_span(request)
                 if request.verb in WORKER_VERBS:
                     # Synchronous dispatch pins per-network ordering;
                     # the response write happens off-loop-order.
                     future = self.dispatch_request(request)
-                    tasks.append(asyncio.ensure_future(answer(future)))
+                    tasks.append(asyncio.ensure_future(
+                        answer(request, future, root, dispatch)))
                 else:
-                    tasks.append(asyncio.ensure_future(control(request)))
+                    tasks.append(asyncio.ensure_future(
+                        control(request, root)))
         except ConnectionResetError:  # pragma: no cover - client vanished
             pass
         finally:

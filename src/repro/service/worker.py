@@ -29,9 +29,11 @@ suffix so N workers never fight over one file.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.obs.spans import SpanRecorder, activate
 from repro.service.executor import ServiceExecutor
 from repro.service.protocol import (
     ProtocolError,
@@ -57,6 +59,11 @@ class WorkerOptions:
         provenance_path: Record + export decision provenance (+``.w<i>``).
         timeseries_path: Sample per-batch ``service.*`` series and
             export them here (+``.w<i>``) for ``repro top``.
+        spans_path: Record request-path spans (work span, queue wait,
+            executor stages) with tail-based exemplar capture and
+            export them here (+``.w<i>``).
+        span_threshold_ms: Root-span latency at/above which a trace is
+            kept (see :class:`repro.obs.spans.SpanRecorder`).
         kernel: Placement-kernel mode to pin process-wide (None = keep
             the default crossover-aware ``auto``).
     """
@@ -68,6 +75,8 @@ class WorkerOptions:
     metrics_path: Optional[str] = None
     provenance_path: Optional[str] = None
     timeseries_path: Optional[str] = None
+    spans_path: Optional[str] = None
+    span_threshold_ms: float = 50.0
     kernel: Optional[str] = None
 
 
@@ -143,6 +152,36 @@ def _worker_path(path: str, index: int) -> str:
     return f"{path}.w{index}"
 
 
+def _begin_work_span(spans: Optional[SpanRecorder], payload: Dict,
+                     index: int):
+    """Open this worker's local-root ``work`` span for one request.
+
+    When the front-end forwarded a trace context, the work span joins
+    that trace (parented under the front-end's dispatch span) and the
+    pipe/queue wait is synthesized as a sibling ``shard.queue`` span
+    from the forwarded enqueue wall-clock stamp.  Without a context
+    (front-end not recording spans) the worker starts its own trace,
+    so worker-side waterfalls exist either way.
+    """
+    if spans is None:
+        return None
+    wire = payload.get("trace")
+    trace_id = parent = None
+    if isinstance(wire, dict):
+        trace_id = wire.get("trace_id")
+        parent = wire.get("span_id")
+        enqueued = wire.get("enqueued_unix")
+        if trace_id and isinstance(enqueued, (int, float)):
+            waited_ms = max(0.0, (time.time() - float(enqueued)) * 1e3)
+            spans.record("shard.queue", trace_id=trace_id,
+                         parent_id=parent, start_unix=float(enqueued),
+                         duration_ms=waited_ms)
+    return spans.start("work", trace_id=trace_id, parent_id=parent,
+                       attrs={"worker": index,
+                              "verb": payload.get("verb"),
+                              "network": payload.get("network")})
+
+
 def worker_main(index: int, conn, options: WorkerOptions) -> None:
     """Entry point of one worker process (runs until told to stop)."""
     from repro import obs
@@ -157,8 +196,12 @@ def worker_main(index: int, conn, options: WorkerOptions) -> None:
         prov = ProvenanceRecorder()
     timeseries = (obs.TimeSeriesStore()
                   if options.timeseries_path else None)
+    spans = (SpanRecorder(threshold_ms=options.span_threshold_ms,
+                          process=f"worker-{index}")
+             if options.spans_path else None)
     recorder = obs.recorder.enable(obs.Recorder(provenance=prov,
-                                                timeseries=timeseries))
+                                                timeseries=timeseries,
+                                                spans=spans))
     executor = ServiceExecutor(cache_capacity=options.cache_capacity,
                                worker_index=index)
     batcher = _LedgerBatcher(index, options, recorder)
@@ -173,9 +216,11 @@ def worker_main(index: int, conn, options: WorkerOptions) -> None:
                 break
             kind = message[0]
             if kind == "request":
+                work = _begin_work_span(spans, message[1], index)
                 try:
-                    request = parse_request(message[1])
-                    result = executor.handle(request)
+                    with activate(work):
+                        request = parse_request(message[1])
+                        result = executor.handle(request)
                     response = ok_response(request, result, worker=index)
                 except ProtocolError as error:
                     response = error_response(None, error, worker=index)
@@ -184,6 +229,11 @@ def worker_main(index: int, conn, options: WorkerOptions) -> None:
                     response = error_response(
                         parsed if parsed is not None else None, error,
                         worker=index)
+                if work is not None:
+                    ok = bool(response.get("ok"))
+                    duration_ms = work.end("ok" if ok else "error")
+                    spans.close_trace(work.trace_id, duration_ms,
+                                      error=not ok)
                 served += 1
                 batcher.note(message[1].get("verb", "?"),
                              bool(response.get("ok")),
@@ -210,6 +260,8 @@ def worker_main(index: int, conn, options: WorkerOptions) -> None:
                          _worker_path(options.metrics_path, index))
         if prov is not None and options.provenance_path:
             prov.export_jsonl(_worker_path(options.provenance_path, index))
+        if spans is not None:
+            spans.export_jsonl(_worker_path(options.spans_path, index))
         if timeseries is not None:
             timeseries.export_jsonl(
                 _worker_path(options.timeseries_path, index))

@@ -97,6 +97,76 @@ class TestRender:
         assert parse_openmetrics(text) == {}
 
 
+class TestServiceFamilies:
+    """Cache-lookup counters and request-stage histograms render as
+    labeled families and survive the strict parser."""
+
+    def snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("service.cache.topology.hit", 5)
+        registry.inc("service.cache.topology.miss", 2)
+        registry.inc("service.cache.schedule.miss", 4)
+        registry.inc("service.repair_fallbacks", 1)
+        registry.observe("span.compile.seconds", 0.02,
+                         buckets=(0.01, 0.1, 1.0))
+        registry.observe("span.shard.queue.seconds", 0.005,
+                         buckets=(0.01, 0.1, 1.0))
+        return registry.snapshot()
+
+    def test_cache_lookup_counters_are_one_labeled_family(self):
+        families = parse_openmetrics(render_openmetrics(self.snapshot()))
+        family = families["repro_service_cache_lookups_total"]
+        assert family["type"] == "counter"
+        by_label = {(labels["kind"], labels["verdict"]): value
+                    for _, labels, value in family["samples"]}
+        assert by_label == {("topology", "hit"): 5.0,
+                            ("topology", "miss"): 2.0,
+                            ("schedule", "miss"): 4.0}
+        # The raw dotted names must not leak out as their own families.
+        assert not any("cache_topology" in name for name in families)
+
+    def test_repair_fallbacks_still_a_plain_counter(self):
+        families = parse_openmetrics(render_openmetrics(self.snapshot()))
+        assert families["repro_service_repair_fallbacks_total"][
+            "samples"] == [
+            ("repro_service_repair_fallbacks_total", {}, 1.0)]
+
+    def test_stage_histograms_share_one_family(self):
+        families = parse_openmetrics(render_openmetrics(self.snapshot()))
+        family = families["repro_stage_seconds"]
+        assert family["type"] == "histogram"
+        stages = {labels["stage"] for _, labels, _ in family["samples"]
+                  if "stage" in labels}
+        # Dotted stage names (shard.queue) survive as label values.
+        assert stages == {"compile", "shard.queue"}
+        counts = {labels["stage"]: value
+                  for name, labels, value in family["samples"]
+                  if name == "repro_stage_seconds_count"}
+        assert counts == {"compile": 1.0, "shard.queue": 1.0}
+        buckets = {(labels["stage"], labels["le"]): value
+                   for name, labels, value in family["samples"]
+                   if name == "repro_stage_seconds_bucket"}
+        assert buckets[("compile", "0.1")] == 1.0
+        assert buckets[("compile", "0.01")] == 0.0
+        assert buckets[("shard.queue", "0.01")] == 1.0
+        assert buckets[("shard.queue", "+Inf")] == 1.0
+
+    def test_merged_worker_snapshots_round_trip(self):
+        merged = MetricsRegistry.merge_snapshots(
+            [self.snapshot(), self.snapshot()])
+        families = parse_openmetrics(render_openmetrics(merged))
+        by_label = {(labels["kind"], labels["verdict"]): value
+                    for _, labels, value
+                    in families["repro_service_cache_lookups_total"]
+                    ["samples"]}
+        assert by_label[("topology", "hit")] == 10.0
+        counts = {labels["stage"]: value
+                  for name, labels, value
+                  in families["repro_stage_seconds"]["samples"]
+                  if name == "repro_stage_seconds_count"}
+        assert counts == {"compile": 2.0, "shard.queue": 2.0}
+
+
 class TestStrictParser:
     def test_rejects_missing_eof(self):
         with pytest.raises(ValueError, match="# EOF"):

@@ -301,3 +301,163 @@ class TestLoadgenCli:
             first_by_network.setdefault(payload["network"],
                                         payload["verb"])
         assert set(first_by_network.values()) == {"schedule"}
+
+
+@pytest.fixture()
+def traced_service(tmp_path):
+    """A 2-worker service recording every request span (threshold 0)."""
+    socket_path = str(tmp_path / "serve.sock")
+    spans_path = str(tmp_path / "spans.jsonl")
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", socket_path,
+         "--service-workers", "2",
+         "--spans", spans_path,
+         "--span-threshold-ms", "0",
+         "--no-ledger"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    deadline = time.time() + 60
+    while not os.path.exists(socket_path):
+        if process.poll() is not None:
+            raise AssertionError(
+                f"serve exited early:\n{process.stdout.read()}")
+        if time.time() > deadline:
+            process.kill()
+            raise AssertionError("serve did not open its socket")
+        time.sleep(0.05)
+    yield {"socket": socket_path, "spans": spans_path,
+           "process": process}
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def shutdown(handle):
+    """SIGTERM the service and wait so workers flush their exports."""
+    handle["process"].send_signal(signal.SIGTERM)
+    handle["process"].wait(timeout=30)
+
+
+class TestTracedServeEndToEnd:
+    """Acceptance: a request is reconstructable offline as a complete
+    cross-process waterfall with correct parentage."""
+
+    def test_cross_process_waterfall(self, traced_service, tmp_path):
+        from repro.obs.spans import (build_traces, expand_span_paths,
+                                     format_trace_show,
+                                     load_span_records, new_trace_id)
+
+        plan = build_plan(LoadgenOptions(**PLAN_KW))
+        sent_ids = []
+        client = NdjsonClient(traced_service["socket"])
+        try:
+            for index, payload in enumerate(plan):
+                trace_id = new_trace_id()
+                sent = dict(payload,
+                            trace={"trace_id": trace_id,
+                                   "span_id": f"client-{index}"})
+                response = client.request(sent)
+                assert response["ok"], response
+                # Every response echoes the adopted trace id.
+                assert response["trace"] == {"trace_id": trace_id}
+                sent_ids.append(trace_id)
+        finally:
+            client.close()
+        shutdown(traced_service)
+
+        paths = expand_span_paths(traced_service["spans"])
+        # Front export plus at least one worker shard that served work.
+        assert traced_service["spans"] in paths
+        assert any(path.endswith((".w0", ".w1")) for path in paths)
+        records, metas = load_span_records(paths)
+        assert "front" in {meta["process"] for meta in metas}
+
+        traces = build_traces(records)
+        assert traces, "no traces reconstructed"
+        complete = []
+        for trace in traces:
+            by_id = {s["span"]: s for s in trace["spans"]}
+            names = {s["name"] for s in trace["spans"]}
+            if not {"request", "dispatch", "work"} <= names:
+                continue
+            complete.append(trace)
+            assert trace["trace_id"] in sent_ids
+            for span in trace["spans"]:
+                # Parentage: every non-root span links to a span we
+                # actually exported (complete chains, no orphans)...
+                parent_id = span["parent"]
+                if parent_id is None or parent_id.startswith("client-"):
+                    continue
+                parent = by_id.get(parent_id)
+                assert parent is not None, span
+                # ...and (serial stages) children fit in the parent.
+                siblings = [s for s in trace["spans"]
+                            if s["parent"] == parent["span"]]
+                assert sum(s["duration_ms"] for s in siblings) <= \
+                    parent["duration_ms"] + 1.0
+            work = next(s for s in trace["spans"] if s["name"] == "work")
+            dispatch = next(s for s in trace["spans"]
+                            if s["name"] == "dispatch")
+            request = next(s for s in trace["spans"]
+                           if s["name"] == "request")
+            assert request["parent"].startswith("client-")
+            assert request["attrs"]["verb"] in ("schedule", "reschedule",
+                                                "simulate")
+            assert dispatch["parent"] == request["span"]
+            assert work["parent"] == dispatch["span"]
+            stages = [s for s in trace["spans"]
+                      if s["parent"] == work["span"]]
+            # A fresh schedule always compiles (or at least consults
+            # the caches); other verbs may legitimately do no staged
+            # work (e.g. a noop reschedule).
+            if request["attrs"]["verb"] == "schedule":
+                assert {s["name"] for s in stages} >= {"cache.topology"}
+        assert complete, "no complete front+worker waterfall captured"
+        assert any(s["name"] == "compile"
+                   for t in complete for s in t["spans"])
+
+        # And the CLI renders it.
+        shown = format_trace_show(paths, limit=3)
+        assert "trace " in shown
+        assert "work" in shown and "dispatch" in shown
+
+    def test_loadgen_trace_out(self, traced_service, tmp_path, capsys):
+        report_path = tmp_path / "load-report.json"
+        trace_path = tmp_path / "client-spans.jsonl"
+        code = main([
+            "loadgen", "--socket", traced_service["socket"],
+            "--requests", "20", "--networks", "4", "--flows", "12",
+            "--seed", "7", "--verify",
+            "--trace-out", str(trace_path),
+            "--trace-threshold-ms", "0",
+            "--report-out", str(report_path), "--no-ledger"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "slow " in out  # exemplar lines in the text report
+
+        report = json.loads(report_path.read_text())
+        # Clean runs keep the pre-tracing verify shape (plus nothing).
+        assert report["verify"] == {"checked": 20, "mismatches": 0,
+                                    "mismatch_samples": []}
+        trace_section = report["trace"]
+        assert trace_section["out"] == str(trace_path)
+        assert trace_section["kept_traces"] >= 1
+        exemplars = trace_section["exemplars"]
+        assert exemplars and all(e["trace_id"] for e in exemplars)
+        durations = [e["duration_ms"] for e in exemplars]
+        assert durations == sorted(durations, reverse=True)
+
+        # The client-side dump itself reconstructs, with loadgen as
+        # the local root process.
+        from repro.obs.spans import build_traces, load_span_records
+        records, metas = load_span_records([str(trace_path)])
+        assert metas[0]["process"] == "loadgen"
+        traces = build_traces(records)
+        exemplar_ids = {e["trace_id"] for e in exemplars}
+        assert exemplar_ids <= {t["trace_id"] for t in traces}
